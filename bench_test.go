@@ -1,0 +1,572 @@
+// Package repro's root benchmark harness: one benchmark per table and
+// figure of the paper (regenerating the analysis behind it), plus the
+// ablation benchmarks DESIGN.md calls out for the design choices made
+// in this reproduction. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Setup (synthetic web generation, log simulation) happens outside the
+// timed region; the timed body is the analysis that produces the
+// artifact.
+package repro
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/bootstrap"
+	"repro/internal/core"
+	"repro/internal/corroborate"
+	"repro/internal/coverage"
+	"repro/internal/demand"
+	"repro/internal/entity"
+	"repro/internal/extract"
+	"repro/internal/graph"
+	"repro/internal/htmlx"
+	"repro/internal/index"
+	"repro/internal/logs"
+	"repro/internal/synth"
+)
+
+// benchStudy caches one mid-scale study across benchmarks so the
+// expensive generation cost is paid once per `go test -bench` run.
+var benchStudy = core.NewStudy(core.Config{
+	Seed:            1,
+	Entities:        6000,
+	DirectoryHosts:  9000,
+	CatalogN:        8000,
+	EventsPerSource: 160000,
+})
+
+func benchIndex(b *testing.B, d entity.Domain, a entity.Attr) *index.Index {
+	b.Helper()
+	idx, err := benchStudy.Index(d, a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return idx
+}
+
+// BenchmarkTable1Domains regenerates Table 1 (domain/attribute list).
+func BenchmarkTable1Domains(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := benchStudy.Table1()
+		if len(rows) != 9 {
+			b.Fatal("bad table1")
+		}
+	}
+}
+
+// BenchmarkFig1PhoneCoverage regenerates a Figure 1 panel: the
+// k-coverage curves of the phone attribute, one sub-benchmark per
+// local-business domain.
+func BenchmarkFig1PhoneCoverage(b *testing.B) {
+	for _, d := range entity.LocalBusinessDomains {
+		idx := benchIndex(b, d, entity.AttrPhone)
+		tPts := coverage.LogSpacedT(len(idx.Sites))
+		b.Run(string(d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := coverage.KCoverage(idx, core.KCoverageMax, tPts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig2HomepageCoverage regenerates a Figure 2 panel
+// (homepage-attribute k-coverage) for the restaurants domain.
+func BenchmarkFig2HomepageCoverage(b *testing.B) {
+	idx := benchIndex(b, entity.Restaurants, entity.AttrHomepage)
+	tPts := coverage.LogSpacedT(len(idx.Sites))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := coverage.KCoverage(idx, core.KCoverageMax, tPts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3BookISBNCoverage regenerates Figure 3 (book ISBN
+// k-coverage).
+func BenchmarkFig3BookISBNCoverage(b *testing.B) {
+	idx := benchIndex(b, entity.Books, entity.AttrISBN)
+	tPts := coverage.LogSpacedT(len(idx.Sites))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := coverage.KCoverage(idx, core.KCoverageMax, tPts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4aReviewCoverage regenerates Figure 4(a): restaurant
+// review k-coverage.
+func BenchmarkFig4aReviewCoverage(b *testing.B) {
+	idx := benchIndex(b, entity.Restaurants, entity.AttrReview)
+	tPts := coverage.LogSpacedT(len(idx.Sites))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := coverage.KCoverage(idx, core.KCoverageMax, tPts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4bAggregateReviews regenerates Figure 4(b): fraction of
+// all review pages covered by the top-t sites.
+func BenchmarkFig4bAggregateReviews(b *testing.B) {
+	idx := benchIndex(b, entity.Restaurants, entity.AttrReview)
+	tPts := coverage.LogSpacedT(len(idx.Sites))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := coverage.AggregateCoverage(idx, tPts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5GreedySetCover regenerates Figure 5: the greedy
+// set-cover ordering of restaurant-homepage sites.
+func BenchmarkFig5GreedySetCover(b *testing.B) {
+	idx := benchIndex(b, entity.Restaurants, entity.AttrHomepage)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := coverage.GreedySetCover(idx, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6DemandDistribution regenerates Figure 6: the CDF and
+// rank-share PDF of unique-cookie demand, per site.
+func BenchmarkFig6DemandDistribution(b *testing.B) {
+	for _, site := range logs.Sites {
+		ests, err := benchStudy.Demand(site)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vec := demand.UniqueVector(ests[logs.Search])
+		b.Run(string(site), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := demand.DemandCDF(vec, 100); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := demand.DemandPDF(vec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig7DemandVsReviews regenerates Figure 7: per-review-bin
+// z-scored demand for all three sites and both sources.
+func BenchmarkFig7DemandVsReviews(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchStudy.Fig7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8ValueAdd regenerates Figure 8: relative value-add
+// VA(n)/VA(0) curves.
+func BenchmarkFig8ValueAdd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchStudy.Fig8(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2GraphMetrics regenerates one Table 2 row: components,
+// largest-component share and exact diameter of the entity-site graph.
+func BenchmarkTable2GraphMetrics(b *testing.B) {
+	for _, pair := range []struct {
+		d entity.Domain
+		a entity.Attr
+	}{
+		{entity.Books, entity.AttrISBN},
+		{entity.Restaurants, entity.AttrPhone},
+		{entity.Restaurants, entity.AttrHomepage},
+	} {
+		g, err := benchStudy.Graph(pair.d, pair.a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(string(pair.d)+"/"+string(pair.a), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := g.ComputeMetrics()
+				if m.Diameter == 0 {
+					b.Fatal("degenerate graph")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig9Robustness regenerates Figure 9: the largest-component
+// share after removing the top-k sites, k = 0..10.
+func BenchmarkFig9Robustness(b *testing.B) {
+	g, err := benchStudy.Graph(entity.Restaurants, entity.AttrPhone)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		curve := g.RobustnessCurve(core.Fig9MaxK)
+		if len(curve) != core.Fig9MaxK+1 {
+			b.Fatal("bad curve")
+		}
+	}
+}
+
+// BenchmarkEndToEndPipeline measures the full extraction path on a
+// small web: render HTML → parse → extract → aggregate → index.
+func BenchmarkEndToEndPipeline(b *testing.B) {
+	web, err := synth.Generate(synth.Config{
+		Domain: entity.Banks, Entities: 300, DirectoryHosts: 450, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := web.ExtractIndexes(nil, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §5) ---
+
+// BenchmarkAblationSetCoverLazy vs ...Naive: the lazy-greedy heap
+// against the textbook rescanning greedy.
+func BenchmarkAblationSetCoverLazy(b *testing.B) {
+	idx := benchIndex(b, entity.Banks, entity.AttrPhone)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := coverage.GreedySetCover(idx, 200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationSetCoverNaive(b *testing.B) {
+	idx := benchIndex(b, entity.Banks, entity.AttrPhone)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := coverage.GreedySetCoverNaive(idx, 200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationCookiesExact vs ...Sketch: exact distinct-cookie
+// sets against HyperLogLog sketches.
+func BenchmarkAblationCookiesExact(b *testing.B) {
+	cat, err := benchStudy.Catalog(logs.Yelp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := demand.SimConfig{Events: 50000, Cookies: 20000, Seed: 5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg := demand.NewAggregator(cat)
+		if err := demand.Simulate(cat, cfg, func(c logs.Click) error {
+			agg.Add(c)
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationCookiesSketch(b *testing.B) {
+	cat, err := benchStudy.Catalog(logs.Yelp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := demand.SimConfig{Events: 50000, Cookies: 20000, Seed: 5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg, err := demand.NewSketchAggregator(cat, 12)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := demand.Simulate(cat, cfg, func(c logs.Click) error {
+			agg.Add(c)
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationDiameterIFUB vs ...Brute: iFUB exact diameter vs
+// the paper's all-sources BFS.
+func ablationGraph(b *testing.B) (*graph.Bipartite, graph.Components) {
+	b.Helper()
+	// A dedicated small web keeps the brute-force baseline (quadratic in
+	// nodes times edges) tractable; the speedup ratio is what matters.
+	web, err := synth.Generate(synth.Config{
+		Domain: entity.Banks, Entities: 800, DirectoryHosts: 1200, Seed: 13,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := graph.FromIndex(web.DirectIndexes()[entity.AttrPhone])
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, g.AllComponents()
+}
+
+func BenchmarkAblationDiameterIFUB(b *testing.B) {
+	g, c := ablationGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := g.DiameterLargest(c); d == 0 {
+			b.Fatal("zero diameter")
+		}
+	}
+}
+
+func BenchmarkAblationDiameterBrute(b *testing.B) {
+	g, c := ablationGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := g.DiameterBrute(c); d == 0 {
+			b.Fatal("zero diameter")
+		}
+	}
+}
+
+// BenchmarkAblationMatchRegex vs ...AhoCorasick: page-text phone
+// matching via regex-extract-then-lookup vs one-pass multi-pattern
+// search over all database phones.
+func ablationPages(b *testing.B) (*entity.DB, []string) {
+	b.Helper()
+	web, err := synth.Generate(synth.Config{
+		Domain: entity.Hotels, Entities: 2000, DirectoryHosts: 100, Seed: 9,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var texts []string
+	for si := range web.Sites[:20] {
+		for _, p := range web.RenderSite(&web.Sites[si]) {
+			texts = append(texts, string(p.HTML))
+		}
+	}
+	return web.DB, texts
+}
+
+func BenchmarkAblationMatchRegex(b *testing.B) {
+	db, texts := ablationPages(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total := 0
+		for _, t := range texts {
+			total += len(extract.MatchPhones(db, t))
+		}
+		if total == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}
+
+func BenchmarkAblationMatchAhoCorasick(b *testing.B) {
+	db, texts := ablationPages(b)
+	ac, err := extract.PhoneAutomaton(db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total := 0
+		for _, t := range texts {
+			total += len(ac.FindValues(t))
+		}
+		if total == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}
+
+// BenchmarkAblationIndexSerial vs ...Sharded: single-threaded index
+// aggregation against the host-sharded concurrent reducer.
+func ablationMentions(b *testing.B) []struct {
+	host string
+	id   int
+} {
+	b.Helper()
+	idx := benchIndex(b, entity.Schools, entity.AttrPhone)
+	var out []struct {
+		host string
+		id   int
+	}
+	for _, s := range idx.Sites {
+		for _, e := range s.Entities {
+			out = append(out, struct {
+				host string
+				id   int
+			}{s.Host, e})
+		}
+	}
+	return out
+}
+
+func BenchmarkAblationIndexSerial(b *testing.B) {
+	mentions := ablationMentions(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		builder := index.NewBuilder(entity.Schools, entity.AttrPhone, 6000)
+		for _, m := range mentions {
+			builder.Add(m.host, m.id)
+		}
+		if builder.Build().NumSites() == 0 {
+			b.Fatal("empty index")
+		}
+	}
+}
+
+func BenchmarkAblationIndexSharded(b *testing.B) {
+	mentions := ablationMentions(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sb := index.NewShardedBuilder(entity.Schools, entity.AttrPhone, 6000, 16)
+		done := make(chan struct{}, 4)
+		chunk := (len(mentions) + 3) / 4
+		for w := 0; w < 4; w++ {
+			go func(lo int) {
+				hi := lo + chunk
+				if hi > len(mentions) {
+					hi = len(mentions)
+				}
+				for _, m := range mentions[lo:hi] {
+					sb.Add(m.host, m.id)
+				}
+				done <- struct{}{}
+			}(w * chunk)
+		}
+		for w := 0; w < 4; w++ {
+			<-done
+		}
+		idx, err := sb.Build()
+		if err != nil || idx.NumSites() == 0 {
+			b.Fatal("empty index")
+		}
+	}
+}
+
+// BenchmarkHTMLParse measures the tokenizer+DOM+text-extraction cost on
+// rendered pages — the extraction pipeline's per-page work.
+func BenchmarkHTMLParse(b *testing.B) {
+	_, texts := ablationPages(b)
+	var total int
+	for _, t := range texts {
+		total += len(t)
+	}
+	b.SetBytes(int64(total))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for _, t := range texts {
+			doc := htmlx.Parse([]byte(t))
+			n += len(doc.Text()) + len(doc.Anchors())
+		}
+		if n == 0 {
+			b.Fatal("no text extracted")
+		}
+	}
+}
+
+// BenchmarkWARCRoundTrip measures archive write+read throughput on an
+// in-memory gzipped WARC.
+func BenchmarkWARCRoundTrip(b *testing.B) {
+	web, err := synth.Generate(synth.Config{
+		Domain: entity.Banks, Entities: 200, DirectoryHosts: 300, Seed: 4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		cdx, err := core.WriteWARC(web, &buf, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cdx.Entries) == 0 {
+			b.Fatal("no records")
+		}
+		if _, _, err := core.ExtractWARC(bytes.NewReader(buf.Bytes()), web.DB, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Extension benchmarks ---
+
+// BenchmarkBootstrapExpand measures one full set-expansion run (§5's
+// algorithm family) from a single seed over a mid-scale index.
+func BenchmarkBootstrapExpand(b *testing.B) {
+	idx := benchIndex(b, entity.Retail, entity.AttrPhone)
+	x, err := bootstrap.NewExpander(idx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := x.Expand([]int{42}, bootstrap.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.ReachedEntities() == 0 {
+			b.Fatal("expansion reached nothing")
+		}
+	}
+}
+
+// BenchmarkCorroborateResolve measures noisy-extraction simulation plus
+// a k=5 corroborated resolution over a mid-scale phone index.
+func BenchmarkCorroborateResolve(b *testing.B) {
+	web, err := synth.Generate(synth.Config{
+		Domain: entity.Banks, Entities: 2000, DirectoryHosts: 3000, Seed: 17,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx := web.DirectIndexes()[entity.AttrPhone]
+	truth := func(id int) string { return string(web.DB.Entities[id].Phone) }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obs, err := corroborate.Simulate(idx, truth, corroborate.Config{
+			Noise: 0.2, Mode: corroborate.Confusion, Seed: 3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		resolved, err := obs.Resolve(5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(resolved) == 0 {
+			b.Fatal("nothing resolved")
+		}
+	}
+}
+
+// BenchmarkAblationDiameterParallel: the paper's all-sources-BFS method
+// parallelized across cores — exact like iFUB, but one BFS per node.
+func BenchmarkAblationDiameterParallel(b *testing.B) {
+	g, c := ablationGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := g.DiameterParallel(c, 0); d == 0 {
+			b.Fatal("zero diameter")
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Command analyze runs one (or all) of the paper's experiments and
+// emits its data files and a terminal preview.
+//
+// Usage:
+//
+//	analyze -exp fig1 -scale small -seed 1 -out out/
+//	analyze -exp all -scale default -out out/
+//
+// Experiment IDs: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8
+// table2 fig9, or "all".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/synth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "analyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	exp := flag.String("exp", "all", "experiment id ("+strings.Join(report.Experiments, ", ")+", or all)")
+	scale := flag.String("scale", "small", "experiment scale: small, default, large")
+	seed := flag.Uint64("seed", 1, "master seed")
+	outDir := flag.String("out", "out", "output directory (empty: terminal only)")
+	extraction := flag.Bool("extraction", false, "build indexes via the full render+parse+extract pipeline instead of direct model decisions")
+	workers := flag.Int("workers", 0, "extraction worker count (0: GOMAXPROCS)")
+	flag.Parse()
+
+	var sc synth.Scale
+	switch *scale {
+	case "small":
+		sc = synth.ScaleSmall
+	case "default":
+		sc = synth.ScaleDefault
+	case "large":
+		sc = synth.ScaleLarge
+	default:
+		return fmt.Errorf("unknown scale %q (small, default, large)", *scale)
+	}
+	study := core.NewStudy(core.Config{
+		Seed:           *seed,
+		Entities:       sc.Entities,
+		DirectoryHosts: sc.DirectoryHosts,
+		CatalogN:       sc.Entities,
+		UseExtraction:  *extraction,
+		Workers:        *workers,
+	})
+	if *exp == "all" {
+		return report.RunAll(study, *outDir, os.Stdout)
+	}
+	if !report.Valid(*exp) {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return report.Run(study, *exp, *outDir, os.Stdout)
+}

@@ -1,0 +1,142 @@
+// Command clicklog generates and aggregates the §4 demand logs as
+// files, exercising the same TSV click-log format end to end that the
+// in-memory pipeline uses.
+//
+// Generate a year of search+browse traffic for one site:
+//
+//	clicklog gen -site yelp -n 5000 -events 200000 -seed 1 -out clicks.tsv
+//
+// Aggregate a log back into per-entity demand and print the demand
+// distribution summary:
+//
+//	clicklog agg -site yelp -n 5000 -seed 1 -in clicks.tsv
+//
+// The (site, n, seed) triple must match between gen and agg so the
+// catalog (and its URL keys) regenerates identically.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/demand"
+	"repro/internal/logs"
+	"repro/internal/stats"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: clicklog <gen|agg> [flags]")
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = runGen(os.Args[2:])
+	case "agg":
+		err = runAgg(os.Args[2:])
+	default:
+		err = fmt.Errorf("unknown subcommand %q (gen, agg)", os.Args[1])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clicklog:", err)
+		os.Exit(1)
+	}
+}
+
+func catalogFor(site string, n int, seed uint64) (*demand.Catalog, error) {
+	s := logs.Site(site)
+	if !s.Valid() {
+		return nil, fmt.Errorf("unknown site %q (amazon, yelp, imdb)", site)
+	}
+	return demand.GenerateCatalog(demand.SiteDefaults(s, n, seed))
+}
+
+func runGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	site := fs.String("site", "yelp", "site: amazon, yelp, imdb")
+	n := fs.Int("n", 5000, "catalog size")
+	events := fs.Int("events", 0, "clicks per source (0: 40x catalog)")
+	cookies := fs.Int("cookies", 0, "cookie population (0: 8x catalog)")
+	seed := fs.Uint64("seed", 1, "seed")
+	out := fs.String("out", "clicks.tsv", "output log path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cat, err := catalogFor(*site, *n, *seed)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", *out, err)
+	}
+	defer f.Close()
+	w := logs.NewWriter(f)
+	count := 0
+	err = demand.Simulate(cat, demand.SimConfig{
+		Events: *events, Cookies: *cookies, Seed: *seed ^ 0x51b,
+	}, func(c logs.Click) error {
+		count++
+		return w.Write(c)
+	})
+	if err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("close %s: %w", *out, err)
+	}
+	fmt.Printf("wrote %d clicks for %s (catalog %d entities) to %s\n", count, *site, *n, *out)
+	return nil
+}
+
+func runAgg(args []string) error {
+	fs := flag.NewFlagSet("agg", flag.ExitOnError)
+	site := fs.String("site", "yelp", "site: amazon, yelp, imdb")
+	n := fs.Int("n", 5000, "catalog size (must match gen)")
+	seed := fs.Uint64("seed", 1, "seed (must match gen)")
+	in := fs.String("in", "clicks.tsv", "input log path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cat, err := catalogFor(*site, *n, *seed)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return fmt.Errorf("open %s: %w", *in, err)
+	}
+	defer f.Close()
+	agg := demand.NewAggregator(cat)
+	r := logs.NewReader(f)
+	lines := 0
+	for {
+		c, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		lines++
+		agg.Add(c)
+	}
+	fmt.Printf("aggregated %d clicks from %s\n\n", lines, *in)
+	for _, src := range []logs.Source{logs.Search, logs.Browse} {
+		vec := demand.UniqueVector(agg.Demand(src))
+		top20 := demand.TopShare(vec, 0.2)
+		gini := stats.Gini(vec)
+		line := fmt.Sprintf("%s: top-20%% share %.1f%%, gini %.2f", src, 100*top20, gini)
+		if s, err := stats.ZipfExponentFromRanks(vec, 500); err == nil {
+			line += fmt.Sprintf(", fitted zipf s=%.2f", s)
+		}
+		fmt.Println(line)
+	}
+	return nil
+}

@@ -1,0 +1,248 @@
+// Command webrepro is the one-shot reproduction: it runs every table
+// and figure of "An Analysis of Structured Data on the Web" (Dalvi,
+// Machanavajjhala, Pang — VLDB 2012) over the synthetic-web substrate
+// and writes all data files plus a shape-check report comparing the
+// measured curves against the paper's qualitative claims.
+//
+// Usage:
+//
+//	webrepro -scale default -seed 1 -out out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/entity"
+	"repro/internal/logs"
+	"repro/internal/report"
+	"repro/internal/synth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "webrepro:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	scale := flag.String("scale", "default", "experiment scale: small, default, large")
+	seed := flag.Uint64("seed", 1, "master seed")
+	outDir := flag.String("out", "out", "output directory")
+	extraction := flag.Bool("extraction", false, "use the full render+parse+extract pipeline")
+	flag.Parse()
+
+	var sc synth.Scale
+	switch *scale {
+	case "small":
+		sc = synth.ScaleSmall
+	case "default":
+		sc = synth.ScaleDefault
+	case "large":
+		sc = synth.ScaleLarge
+	default:
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+	study := core.NewStudy(core.Config{
+		Seed:           *seed,
+		Entities:       sc.Entities,
+		DirectoryHosts: sc.DirectoryHosts,
+		CatalogN:       sc.Entities,
+		UseExtraction:  *extraction,
+	})
+
+	start := time.Now()
+	if err := report.RunAll(study, *outDir, os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("\nall experiments done in %v; data under %s/\n", time.Since(start).Round(time.Millisecond), *outDir)
+
+	// Shape-check report: the paper's qualitative claims vs measured.
+	path := filepath.Join(*outDir, "shape_checks.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := shapeChecks(study, io.MultiWriter(os.Stdout, f)); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("close %s: %w", path, err)
+	}
+	fmt.Printf("shape checks written to %s\n", path)
+	return nil
+}
+
+// shapeChecks evaluates the paper's headline quantitative claims
+// against the reproduction and prints pass/observe lines.
+func shapeChecks(s *core.Study, w io.Writer) error {
+	fmt.Fprintln(w, "\n== Shape checks: paper claim vs measured ==")
+	check := func(claim string, measured string, ok bool) {
+		status := "OK  "
+		if !ok {
+			status = "DIFF"
+		}
+		fmt.Fprintf(w, "[%s] %-72s | measured: %s\n", status, claim, measured)
+	}
+
+	// §3.4: phones — top-10 ≈ 93%, top-100 ≈ 100% (restaurants).
+	phone, err := s.Spread(entity.Restaurants, entity.AttrPhone)
+	if err != nil {
+		return err
+	}
+	at := func(c []float64, tPts []int, t int) float64 {
+		for i, tv := range tPts {
+			if tv == t {
+				return c[i]
+			}
+		}
+		return -1
+	}
+	k1 := phone.Curves[0]
+	k5 := phone.Curves[4]
+	v10 := at(k1.Coverage, k1.T, 10)
+	v100 := at(k1.Coverage, k1.T, 100)
+	check("Fig1a: top-10 sites cover ~93% of restaurant phones (k=1)",
+		fmt.Sprintf("%.1f%%", 100*v10), v10 > 0.8)
+	check("Fig1a: top-100 sites cover ~100% of restaurant phones (k=1)",
+		fmt.Sprintf("%.1f%%", 100*v100), v100 > 0.95)
+	t90k5 := k5.FirstTReaching(0.9)
+	check("Fig1a: k=5 needs ~5000 sites for 90% phone coverage",
+		fmt.Sprintf("t=%d", t90k5), t90k5 >= 1000)
+
+	// §3.4: homepages are far more spread; ~10,000 sites for 95% (k=1).
+	home, err := s.Spread(entity.Restaurants, entity.AttrHomepage)
+	if err != nil {
+		return err
+	}
+	t95 := home.Curves[0].FirstTReaching(0.95)
+	check("Fig2a: >= ~10,000 sites for 95% of restaurant homepages (k=1)",
+		fmt.Sprintf("t=%d", t95), t95 >= 3000)
+
+	// §3.4: reviews — >1000 sites for 90% 1-coverage.
+	rev, err := s.Fig4a()
+	if err != nil {
+		return err
+	}
+	t90rev := rev.Curves[0].FirstTReaching(0.9)
+	check("Fig4a: > 1000 sites for 90% review 1-coverage",
+		fmt.Sprintf("t=%d", t90rev), t90rev > 1000)
+
+	// §3.4: top-1000 sites cover most reviewed entities but a smaller
+	// share of total review pages.
+	agg, err := s.Fig4b()
+	if err != nil {
+		return err
+	}
+	e1000 := at(rev.Curves[0].Coverage, rev.Curves[0].T, 1000)
+	p1000 := at(agg.Coverage, agg.T, 1000)
+	check("Fig4: page coverage lags entity coverage at top-1000",
+		fmt.Sprintf("entities %.1f%% vs pages %.1f%%", 100*e1000, 100*p1000), p1000 < e1000)
+
+	// §3.4.1: greedy set cover improves only marginally.
+	f5, err := s.Fig5()
+	if err != nil {
+		return err
+	}
+	maxGap := 0.0
+	for i := range f5.BySize.Coverage {
+		if gap := f5.Greedy.Coverage[i] - f5.BySize.Coverage[i]; gap > maxGap {
+			maxGap = gap
+		}
+	}
+	check("Fig5: greedy set cover improvement is insignificant",
+		fmt.Sprintf("max gap %.1f points", 100*maxGap), maxGap < 0.15)
+
+	// §4.2: demand concentration IMDb > Amazon > Yelp.
+	f6, err := s.Fig6()
+	if err != nil {
+		return err
+	}
+	top20 := map[logs.Site]float64{}
+	for _, r := range f6 {
+		if r.Source == logs.Search {
+			top20[r.Site] = r.Top20
+		}
+	}
+	check("Fig6a: top-20% share ordering IMDb > Amazon > Yelp (search)",
+		fmt.Sprintf("imdb %.0f%%, amazon %.0f%%, yelp %.0f%%",
+			100*top20[logs.IMDb], 100*top20[logs.Amazon], 100*top20[logs.Yelp]),
+		top20[logs.IMDb] > top20[logs.Amazon] && top20[logs.Amazon] > top20[logs.Yelp])
+	check("Fig6a: IMDb top-20% of titles carry ~90% of demand",
+		fmt.Sprintf("%.0f%%", 100*top20[logs.IMDb]), top20[logs.IMDb] > 0.8)
+	check("Fig6a: Yelp top-20% of businesses carry ~60% of demand",
+		fmt.Sprintf("%.0f%%", 100*top20[logs.Yelp]), top20[logs.Yelp] < 0.8)
+
+	// §4.3.2: Yelp/Amazon relative VA decreases; IMDb humps.
+	f8, err := s.Fig8()
+	if err != nil {
+		return err
+	}
+	for _, r := range f8 {
+		if r.Source != logs.Search {
+			continue
+		}
+		last := r.Bins[len(r.Bins)-1].RelVA
+		switch r.Site {
+		case logs.Yelp, logs.Amazon:
+			check(fmt.Sprintf("Fig8: %s VA(n)/VA(0) decreases toward the head", r.Site),
+				fmt.Sprintf("head RelVA %.2f", last), last < 1)
+		case logs.IMDb:
+			peak, peakIdx := 0.0, -1
+			for i, p := range r.Bins {
+				if p.RelVA > peak {
+					peak, peakIdx = p.RelVA, i
+				}
+			}
+			check("Fig8: IMDb VA rises at mid popularity then falls for the head",
+				fmt.Sprintf("peak %.2f at bin %d of %d, head %.2f", peak, peakIdx, len(r.Bins)-1, last),
+				peakIdx > 0 && peakIdx < len(r.Bins)-1 && peak > 1)
+		}
+	}
+
+	// §5: graphs highly connected, diameters small, robust to top-k
+	// removal.
+	rows, err := s.Table2()
+	if err != nil {
+		return err
+	}
+	minLargest, maxDiam := 1.0, 0
+	for _, r := range rows {
+		if r.Attr == entity.AttrPhone || r.Attr == entity.AttrISBN {
+			if r.FracLargest < minLargest {
+				minLargest = r.FracLargest
+			}
+			if r.Diameter > maxDiam {
+				maxDiam = r.Diameter
+			}
+		}
+	}
+	check("Table2: largest component covers ~99%+ of entities (phone/ISBN)",
+		fmt.Sprintf("min %.2f%%", 100*minLargest), minLargest > 0.97)
+	check("Table2: diameters small (paper 6-8; d/2 <= 4)",
+		fmt.Sprintf("max diameter %d", maxDiam), maxDiam <= 12)
+
+	f9, err := s.Fig9()
+	if err != nil {
+		return err
+	}
+	minAfter := 1.0
+	for _, r := range f9 {
+		if r.Attr == entity.AttrHomepage {
+			continue
+		}
+		if v := r.Curve[len(r.Curve)-1]; v < minAfter {
+			minAfter = v
+		}
+	}
+	check("Fig9: > 99% in largest component after removing top-10 (phone/ISBN)",
+		fmt.Sprintf("min %.2f%%", 100*minAfter), minAfter > 0.95)
+	return nil
+}

@@ -1,0 +1,84 @@
+// bootstrap_discovery runs the set-expansion algorithm family (§2, §5)
+// that the paper's connectivity analysis upper-bounds: seed-set
+// sensitivity, the d/2 iteration bound, and the effect of a bounded
+// search-engine budget per round.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bootstrap"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/entity"
+)
+
+func main() {
+	study := core.NewStudy(core.Config{
+		Seed:           5,
+		Entities:       3000,
+		DirectoryHosts: 4500,
+	})
+	idx, err := study.Index(entity.Retail, entity.AttrPhone)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := study.Graph(entity.Retail, entity.AttrPhone)
+	if err != nil {
+		log.Fatal(err)
+	}
+	comps := g.AllComponents()
+	diam := g.DiameterLargest(comps)
+	fmt.Printf("retail/phone graph: %d components, %.2f%% in largest, diameter %d\n",
+		comps.Count, 100*comps.FracEntitiesInLargest(), diam)
+	fmt.Printf("=> theory: any giant-component seed saturates within ceil(d/2) = %d rounds\n\n", (diam+1)/2)
+
+	x, err := bootstrap.NewExpander(idx)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Single-seed expansion with unlimited discovery.
+	res, err := x.Expand([]int{1234}, bootstrap.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("unbounded expansion from entity #1234:")
+	for i, r := range res.Rounds {
+		fmt.Printf("  round %d: +%5d sites  +%5d entities\n", i+1, r.NewSites, r.NewEntities)
+	}
+	fmt.Printf("  reached %d entities over %d sites in %d productive rounds\n\n",
+		res.ReachedEntities(), res.ReachedSites(), res.Iterations())
+
+	// 2. Budgeted expansion: at most 50 new sites per round (a bounded
+	// search-engine query budget). Same fixpoint, more rounds.
+	budgeted, err := x.Expand([]int{1234}, bootstrap.Options{SiteBudget: 50})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("with a 50-site/round budget: same reach (%d entities) in %d rounds\n\n",
+		budgeted.ReachedEntities(), budgeted.Iterations())
+
+	// 3. Seed sensitivity (§5.3): random seed sets almost surely land in
+	// the giant component.
+	trials, err := x.SeedSensitivity(dist.NewRNG(99), 3, 25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	full := 0
+	maxIter := 0
+	for _, tr := range trials {
+		if tr.ReachedFrac > 0.9 {
+			full++
+		}
+		if tr.Iterations > maxIter {
+			maxIter = tr.Iterations
+		}
+	}
+	fmt.Printf("seed sensitivity (25 trials, 3 random seeds each):\n")
+	fmt.Printf("  %d/25 trials reached >90%% of all extractable entities\n", full)
+	fmt.Printf("  max iterations observed: %d (bound: %d)\n", maxIter, (diam+1)/2)
+	fmt.Println("\nConnectivity + redundancy make bootstrapped discovery robust to the")
+	fmt.Println("seed choice — the paper's §5 conclusion, verified by running the algorithm.")
+}

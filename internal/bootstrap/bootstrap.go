@@ -1,0 +1,244 @@
+// Package bootstrap implements the family of bootstrapping-based
+// discovery algorithms the paper's §5 connectivity analysis upper-
+// bounds (Flint, KnowItAll, set expansion): start from seed entities,
+// find all sites covering a known entity (via a search engine in
+// production; via the entity–host index here), adopt every entity on
+// those sites, and iterate to a fixed point.
+//
+// The §5 claims this package lets you verify empirically:
+//
+//   - a "perfect" expansion reaches exactly the seed's connected
+//     component, so the reachable fraction equals the largest-component
+//     share for almost every seed;
+//   - the number of iterations to fixpoint is at most ⌈d/2⌉ where d is
+//     the graph diameter;
+//   - random seed sets almost surely intersect the giant component.
+package bootstrap
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/index"
+)
+
+// Round records the growth achieved by one expansion iteration.
+type Round struct {
+	NewSites    int
+	NewEntities int
+	// Totals after this round.
+	TotalSites    int
+	TotalEntities int
+}
+
+// Result is the outcome of one expansion run.
+type Result struct {
+	Rounds []Round
+	// Entities and Sites are the reached sets; Entities[id] and
+	// Sites[siteIdx] are true when reached.
+	Entities []bool
+	Sites    []bool
+}
+
+// ReachedEntities returns the number of entities reached.
+func (r *Result) ReachedEntities() int {
+	n := 0
+	for _, ok := range r.Entities {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// ReachedSites returns the number of sites reached.
+func (r *Result) ReachedSites() int {
+	n := 0
+	for _, ok := range r.Sites {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Iterations returns the number of productive rounds (rounds that
+// discovered something new).
+func (r *Result) Iterations() int {
+	n := 0
+	for _, rd := range r.Rounds {
+		if rd.NewSites > 0 || rd.NewEntities > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Expander runs set expansion over one entity–host index. Building an
+// Expander precomputes the entity→sites inverted lists, so repeated
+// runs (seed-sensitivity experiments) are cheap.
+type Expander struct {
+	idx *index.Index
+	// entitySites[e] lists site indices covering entity e.
+	entitySites [][]int32
+	numEntities int
+}
+
+// NewExpander prepares expansion over idx.
+func NewExpander(idx *index.Index) (*Expander, error) {
+	if idx == nil || len(idx.Sites) == 0 {
+		return nil, fmt.Errorf("bootstrap: empty index")
+	}
+	maxID := idx.NumEntities
+	for si := range idx.Sites {
+		for _, e := range idx.Sites[si].Entities {
+			if e < 0 {
+				return nil, fmt.Errorf("bootstrap: negative entity id %d", e)
+			}
+			if e >= maxID {
+				maxID = e + 1
+			}
+		}
+	}
+	x := &Expander{idx: idx, numEntities: maxID, entitySites: make([][]int32, maxID)}
+	for si := range idx.Sites {
+		for _, e := range idx.Sites[si].Entities {
+			x.entitySites[e] = append(x.entitySites[e], int32(si))
+		}
+	}
+	return x, nil
+}
+
+// NumEntities returns the entity ID space size.
+func (x *Expander) NumEntities() int { return x.numEntities }
+
+// Options tunes an expansion run.
+type Options struct {
+	// MaxRounds caps the number of iterations (<= 0: run to fixpoint).
+	MaxRounds int
+	// SiteBudget caps how many new sites may be discovered per round
+	// (<= 0: unlimited). Models a bounded search-engine query budget;
+	// budgeted runs need more rounds but reach the same component.
+	SiteBudget int
+}
+
+// Expand runs the algorithm from the given seed entity IDs. Unknown or
+// negative seeds are rejected.
+func (x *Expander) Expand(seeds []int, opt Options) (*Result, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("bootstrap: no seeds")
+	}
+	res := &Result{
+		Entities: make([]bool, x.numEntities),
+		Sites:    make([]bool, len(x.idx.Sites)),
+	}
+	frontier := make([]int, 0, len(seeds))
+	for _, s := range seeds {
+		if s < 0 || s >= x.numEntities {
+			return nil, fmt.Errorf("bootstrap: seed %d outside entity space [0, %d)", s, x.numEntities)
+		}
+		if !res.Entities[s] {
+			res.Entities[s] = true
+			frontier = append(frontier, s)
+		}
+	}
+	totalEntities := len(frontier)
+	totalSites := 0
+
+	for round := 1; opt.MaxRounds <= 0 || round <= opt.MaxRounds; round++ {
+		// Phase 1: discover sites covering any frontier entity.
+		newSites := make([]int, 0, 64)
+		for _, e := range frontier {
+			for _, si := range x.entitySites[e] {
+				if !res.Sites[si] {
+					if opt.SiteBudget > 0 && len(newSites) >= opt.SiteBudget {
+						continue
+					}
+					res.Sites[si] = true
+					newSites = append(newSites, int(si))
+				}
+			}
+		}
+		// Phase 2: adopt every entity on the new sites.
+		newFrontier := make([]int, 0, 64)
+		for _, si := range newSites {
+			for _, e := range x.idx.Sites[si].Entities {
+				if !res.Entities[e] {
+					res.Entities[e] = true
+					newFrontier = append(newFrontier, e)
+				}
+			}
+		}
+		totalSites += len(newSites)
+		totalEntities += len(newFrontier)
+		res.Rounds = append(res.Rounds, Round{
+			NewSites:      len(newSites),
+			NewEntities:   len(newFrontier),
+			TotalSites:    totalSites,
+			TotalEntities: totalEntities,
+		})
+		if len(newSites) == 0 && len(newFrontier) == 0 {
+			break
+		}
+		// With a site budget, entities already in the frontier may still
+		// have undiscovered sites; keep them in play.
+		if opt.SiteBudget > 0 {
+			newFrontier = append(newFrontier, frontier...)
+		}
+		frontier = newFrontier
+	}
+	return res, nil
+}
+
+// SeedTrial summarizes one random-seed experiment run.
+type SeedTrial struct {
+	SeedSize int
+	// ReachedFrac is reached entities / entities with at least one site.
+	ReachedFrac float64
+	Iterations  int
+}
+
+// SeedSensitivity runs `trials` expansions from random seed sets of the
+// given size and reports the per-trial reach — the §5.3 argument that
+// "any seed set of structured entities will contain, with high
+// probability, at least one entity from the largest component".
+func (x *Expander) SeedSensitivity(rng *dist.RNG, seedSize, trials int) ([]SeedTrial, error) {
+	if seedSize <= 0 || trials <= 0 {
+		return nil, fmt.Errorf("bootstrap: need positive seedSize and trials, got %d, %d", seedSize, trials)
+	}
+	// Denominator: entities with at least one covering site.
+	connected := 0
+	for e := 0; e < x.numEntities; e++ {
+		if len(x.entitySites[e]) > 0 {
+			connected++
+		}
+	}
+	if connected == 0 {
+		return nil, fmt.Errorf("bootstrap: index has no coverage at all")
+	}
+	out := make([]SeedTrial, 0, trials)
+	for t := 0; t < trials; t++ {
+		seeds := make([]int, seedSize)
+		for i := range seeds {
+			// Sample only entities that exist somewhere on the web; a
+			// seed nobody mentions can never be expanded from.
+			for {
+				s := rng.Intn(x.numEntities)
+				if len(x.entitySites[s]) > 0 {
+					seeds[i] = s
+					break
+				}
+			}
+		}
+		res, err := x.Expand(seeds, Options{})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SeedTrial{
+			SeedSize:    seedSize,
+			ReachedFrac: float64(res.ReachedEntities()) / float64(connected),
+			Iterations:  res.Iterations(),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,232 @@
+package bootstrap
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/entity"
+	"repro/internal/graph"
+	"repro/internal/index"
+	"repro/internal/synth"
+)
+
+func mkIndex(t *testing.T, postings map[string][]int, numEntities int) *index.Index {
+	t.Helper()
+	b := index.NewBuilder(entity.Restaurants, entity.AttrPhone, numEntities)
+	for host, ids := range postings {
+		for _, id := range ids {
+			b.Add(host, id)
+		}
+	}
+	return b.Build()
+}
+
+func TestNewExpanderValidation(t *testing.T) {
+	if _, err := NewExpander(nil); err == nil {
+		t.Error("nil index should fail")
+	}
+	if _, err := NewExpander(&index.Index{NumEntities: 3}); err == nil {
+		t.Error("empty index should fail")
+	}
+}
+
+func TestExpandReachesComponent(t *testing.T) {
+	// Two components: {0,1,2} via sites a,b and {3,4} via c.
+	idx := mkIndex(t, map[string][]int{
+		"a": {0, 1}, "b": {1, 2}, "c": {3, 4},
+	}, 5)
+	x, err := NewExpander(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := x.Expand([]int{0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReachedEntities() != 3 {
+		t.Errorf("reached %d entities, want 3", res.ReachedEntities())
+	}
+	if res.ReachedSites() != 2 {
+		t.Errorf("reached %d sites, want 2", res.ReachedSites())
+	}
+	if res.Entities[3] || res.Entities[4] {
+		t.Error("crossed into a disconnected component")
+	}
+	// From the other component.
+	res2, err := x.Expand([]int{4}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.ReachedEntities() != 2 || res2.ReachedSites() != 1 {
+		t.Errorf("component 2: %d entities, %d sites", res2.ReachedEntities(), res2.ReachedSites())
+	}
+}
+
+func TestExpandValidation(t *testing.T) {
+	idx := mkIndex(t, map[string][]int{"a": {0}}, 1)
+	x, _ := NewExpander(idx)
+	if _, err := x.Expand(nil, Options{}); err == nil {
+		t.Error("no seeds should fail")
+	}
+	if _, err := x.Expand([]int{-1}, Options{}); err == nil {
+		t.Error("negative seed should fail")
+	}
+	if _, err := x.Expand([]int{99}, Options{}); err == nil {
+		t.Error("out-of-space seed should fail")
+	}
+}
+
+func TestExpandMaxRounds(t *testing.T) {
+	// Chain requiring 3 rounds; cap at 1.
+	idx := mkIndex(t, map[string][]int{
+		"a": {0, 1}, "b": {1, 2}, "c": {2, 3},
+	}, 4)
+	x, _ := NewExpander(idx)
+	res, err := x.Expand([]int{0}, Options{MaxRounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 1 {
+		t.Fatalf("rounds = %d", len(res.Rounds))
+	}
+	if res.ReachedEntities() >= 4 {
+		t.Error("one round should not reach the whole chain")
+	}
+}
+
+func TestExpandIterationsBoundedByDiameter(t *testing.T) {
+	// §5.2: iterations to fixpoint <= ceil(d/2) for seeds anywhere in
+	// the component.
+	web, err := synth.Generate(synth.Config{
+		Domain: entity.Hotels, Entities: 500, DirectoryHosts: 800, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := web.DirectIndexes()[entity.AttrPhone]
+	g, err := graph.FromIndex(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps := g.AllComponents()
+	d := g.DiameterLargest(comps)
+	bound := (d + 1) / 2
+
+	x, err := NewExpander(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := dist.NewRNG(5)
+	for trial := 0; trial < 10; trial++ {
+		seed := rng.Intn(x.NumEntities())
+		if !comps.InLargest(seed) {
+			continue
+		}
+		res, err := x.Expand([]int{seed}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.Iterations(); got > bound+1 {
+			// +1 slack: the final round that discovers the last sites
+			// (but no entities) still counts as productive.
+			t.Errorf("seed %d: %d iterations exceeds d/2 bound %d (d=%d)", seed, got, bound, d)
+		}
+		if res.ReachedEntities() < comps.LargestEntities {
+			t.Errorf("seed %d: reached %d < largest component %d",
+				seed, res.ReachedEntities(), comps.LargestEntities)
+		}
+	}
+}
+
+func TestExpandSiteBudgetSameFixpoint(t *testing.T) {
+	web, err := synth.Generate(synth.Config{
+		Domain: entity.Banks, Entities: 300, DirectoryHosts: 500, Seed: 22,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := web.DirectIndexes()[entity.AttrPhone]
+	x, err := NewExpander(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := x.Expand([]int{0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgeted, err := x.Expand([]int{0}, Options{SiteBudget: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.ReachedEntities() != budgeted.ReachedEntities() {
+		t.Errorf("budgeted reach %d != free reach %d",
+			budgeted.ReachedEntities(), free.ReachedEntities())
+	}
+	if budgeted.Iterations() <= free.Iterations() {
+		t.Errorf("budgeted run should need more rounds: %d vs %d",
+			budgeted.Iterations(), free.Iterations())
+	}
+}
+
+func TestSeedSensitivity(t *testing.T) {
+	web, err := synth.Generate(synth.Config{
+		Domain: entity.Retail, Entities: 400, DirectoryHosts: 700, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := web.DirectIndexes()[entity.AttrPhone]
+	x, err := NewExpander(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trials, err := x.SeedSensitivity(dist.NewRNG(9), 3, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trials) != 20 {
+		t.Fatalf("trials = %d", len(trials))
+	}
+	// §5.3: random seeds almost surely reach nearly everything.
+	high := 0
+	for _, tr := range trials {
+		if tr.ReachedFrac > 0.9 {
+			high++
+		}
+		if tr.Iterations < 1 {
+			t.Errorf("trial with %d iterations", tr.Iterations)
+		}
+	}
+	if high < 18 {
+		t.Errorf("only %d/20 trials reached >90%% of entities", high)
+	}
+}
+
+func TestSeedSensitivityValidation(t *testing.T) {
+	idx := mkIndex(t, map[string][]int{"a": {0}}, 1)
+	x, _ := NewExpander(idx)
+	if _, err := x.SeedSensitivity(dist.NewRNG(1), 0, 5); err == nil {
+		t.Error("seedSize=0 should fail")
+	}
+	if _, err := x.SeedSensitivity(dist.NewRNG(1), 1, 0); err == nil {
+		t.Error("trials=0 should fail")
+	}
+}
+
+func TestResultCountsConsistent(t *testing.T) {
+	idx := mkIndex(t, map[string][]int{
+		"a": {0, 1, 2}, "b": {2, 3}, "c": {3, 4},
+	}, 6)
+	x, _ := NewExpander(idx)
+	res, err := x.Expand([]int{0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.Rounds[len(res.Rounds)-1]
+	if last.TotalEntities != res.ReachedEntities() {
+		t.Errorf("round totals %d != reached %d", last.TotalEntities, res.ReachedEntities())
+	}
+	if last.TotalSites != res.ReachedSites() {
+		t.Errorf("site totals %d != reached %d", last.TotalSites, res.ReachedSites())
+	}
+}

@@ -1,0 +1,90 @@
+package bootstrap
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dist"
+	"repro/internal/entity"
+	"repro/internal/index"
+)
+
+func randomIdx(seed uint64) *index.Index {
+	rng := dist.NewRNG(seed)
+	n := 10 + rng.Intn(80)
+	b := index.NewBuilder(entity.Banks, entity.AttrPhone, n)
+	sites := 2 + rng.Intn(25)
+	for s := 0; s < sites; s++ {
+		host := string([]byte{'h', byte('a' + s/26), byte('a' + s%26)}) + ".com"
+		for j := 0; j < 1+rng.Intn(6); j++ {
+			b.Add(host, rng.Intn(n))
+		}
+	}
+	return b.Build()
+}
+
+// TestPropertyExpansionIsClosed: after an unbudgeted run, no unreached
+// site covers a reached entity and no reached site has an unreached
+// entity — the result is exactly a union of connected components.
+func TestPropertyExpansionIsClosed(t *testing.T) {
+	f := func(seed uint64, seedEntity uint16) bool {
+		idx := randomIdx(seed)
+		x, err := NewExpander(idx)
+		if err != nil {
+			return false
+		}
+		s := int(seedEntity) % x.NumEntities()
+		res, err := x.Expand([]int{s}, Options{})
+		if err != nil {
+			return false
+		}
+		for si := range idx.Sites {
+			covers := false
+			allIn := true
+			for _, e := range idx.Sites[si].Entities {
+				if res.Entities[e] {
+					covers = true
+				} else {
+					allIn = false
+				}
+			}
+			if covers != res.Sites[si] {
+				return false // reached iff it covers a reached entity
+			}
+			if res.Sites[si] && !allIn {
+				return false // reached sites contribute all entities
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyBudgetedMatchesUnbudgetedFixpoint: a site budget changes
+// the schedule, never the fixpoint.
+func TestPropertyBudgetedMatchesUnbudgetedFixpoint(t *testing.T) {
+	f := func(seed uint64, seedEntity, budget8 uint8) bool {
+		idx := randomIdx(seed)
+		x, err := NewExpander(idx)
+		if err != nil {
+			return false
+		}
+		s := int(seedEntity) % x.NumEntities()
+		budget := 1 + int(budget8)%5
+		free, err := x.Expand([]int{s}, Options{})
+		if err != nil {
+			return false
+		}
+		bud, err := x.Expand([]int{s}, Options{SiteBudget: budget})
+		if err != nil {
+			return false
+		}
+		return free.ReachedEntities() == bud.ReachedEntities() &&
+			free.ReachedSites() == bud.ReachedSites()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,210 @@
+// Package classify implements the multinomial Naïve-Bayes text
+// classifier the study uses to decide whether a page that mentions a
+// restaurant's phone number actually contains a review of it (§3.2:
+// "used a Naïve-Bayes classifier over the textual content to determine
+// if a page has review content").
+package classify
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Tokenize lower-cases s and splits it into letter/digit word tokens.
+// Punctuation separates tokens; tokens shorter than 2 runes are dropped
+// (single letters carry almost no class signal and inflate the model).
+func Tokenize(s string) []string {
+	fields := strings.FieldsFunc(strings.ToLower(s), func(r rune) bool {
+		return !(r >= 'a' && r <= 'z' || r >= '0' && r <= '9')
+	})
+	out := fields[:0]
+	for _, f := range fields {
+		if len(f) >= 2 {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// NaiveBayes is a binary multinomial Naïve-Bayes model with Laplace
+// smoothing. Class true is "review", class false is "not a review".
+// The zero value is unusable; construct with NewNaiveBayes.
+type NaiveBayes struct {
+	alpha float64 // Laplace smoothing pseudo-count
+
+	docs   [2]int // documents seen per class
+	tokens [2]int // total token count per class
+	counts [2]map[string]int
+	vocab  map[string]struct{}
+}
+
+// NewNaiveBayes returns an untrained model with the given Laplace
+// smoothing parameter (alpha <= 0 defaults to 1).
+func NewNaiveBayes(alpha float64) *NaiveBayes {
+	if alpha <= 0 || math.IsNaN(alpha) {
+		alpha = 1
+	}
+	return &NaiveBayes{
+		alpha:  alpha,
+		counts: [2]map[string]int{make(map[string]int), make(map[string]int)},
+		vocab:  make(map[string]struct{}),
+	}
+}
+
+func classIndex(positive bool) int {
+	if positive {
+		return 1
+	}
+	return 0
+}
+
+// Train adds one labeled document.
+func (nb *NaiveBayes) Train(text string, isReview bool) {
+	ci := classIndex(isReview)
+	nb.docs[ci]++
+	for _, tok := range Tokenize(text) {
+		nb.counts[ci][tok]++
+		nb.tokens[ci]++
+		nb.vocab[tok] = struct{}{}
+	}
+}
+
+// Trained reports whether both classes have at least one document.
+func (nb *NaiveBayes) Trained() bool { return nb.docs[0] > 0 && nb.docs[1] > 0 }
+
+// LogOdds returns log P(review | text) - log P(¬review | text) up to the
+// shared normalizer. Positive means "review". It returns an error if the
+// model has not seen both classes.
+func (nb *NaiveBayes) LogOdds(text string) (float64, error) {
+	if !nb.Trained() {
+		return 0, fmt.Errorf("classify: model needs at least one document of each class")
+	}
+	totalDocs := float64(nb.docs[0] + nb.docs[1])
+	v := float64(len(nb.vocab))
+	score := [2]float64{}
+	for ci := 0; ci < 2; ci++ {
+		score[ci] = math.Log(float64(nb.docs[ci]) / totalDocs)
+	}
+	for _, tok := range Tokenize(text) {
+		if _, known := nb.vocab[tok]; !known {
+			continue // unseen tokens contribute equally to both classes
+		}
+		for ci := 0; ci < 2; ci++ {
+			p := (float64(nb.counts[ci][tok]) + nb.alpha) /
+				(float64(nb.tokens[ci]) + nb.alpha*v)
+			score[ci] += math.Log(p)
+		}
+	}
+	return score[1] - score[0], nil
+}
+
+// Classify reports whether text is a review. It returns an error if the
+// model is untrained.
+func (nb *NaiveBayes) Classify(text string) (bool, error) {
+	lo, err := nb.LogOdds(text)
+	if err != nil {
+		return false, err
+	}
+	return lo > 0, nil
+}
+
+// Vocabulary returns the number of distinct tokens seen in training.
+func (nb *NaiveBayes) Vocabulary() int { return len(nb.vocab) }
+
+// TopFeatures returns the k tokens with the largest absolute
+// log-likelihood ratio between the classes, most review-indicative
+// first. Useful for model inspection and tests.
+func (nb *NaiveBayes) TopFeatures(k int) []string {
+	type feat struct {
+		tok string
+		lr  float64
+	}
+	v := float64(len(nb.vocab))
+	feats := make([]feat, 0, len(nb.vocab))
+	for tok := range nb.vocab {
+		p1 := (float64(nb.counts[1][tok]) + nb.alpha) / (float64(nb.tokens[1]) + nb.alpha*v)
+		p0 := (float64(nb.counts[0][tok]) + nb.alpha) / (float64(nb.tokens[0]) + nb.alpha*v)
+		feats = append(feats, feat{tok, math.Log(p1 / p0)})
+	}
+	sort.Slice(feats, func(i, j int) bool {
+		if feats[i].lr != feats[j].lr {
+			return feats[i].lr > feats[j].lr
+		}
+		return feats[i].tok < feats[j].tok
+	})
+	if k > len(feats) {
+		k = len(feats)
+	}
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = feats[i].tok
+	}
+	return out
+}
+
+// Metrics summarizes binary classification quality.
+type Metrics struct {
+	TP, FP, TN, FN int
+}
+
+// Accuracy returns (TP+TN)/total, or 0 for an empty evaluation.
+func (m Metrics) Accuracy() float64 {
+	total := m.TP + m.FP + m.TN + m.FN
+	if total == 0 {
+		return 0
+	}
+	return float64(m.TP+m.TN) / float64(total)
+}
+
+// Precision returns TP/(TP+FP), or 0 when nothing was predicted positive.
+func (m Metrics) Precision() float64 {
+	if m.TP+m.FP == 0 {
+		return 0
+	}
+	return float64(m.TP) / float64(m.TP+m.FP)
+}
+
+// Recall returns TP/(TP+FN), or 0 when there are no positives.
+func (m Metrics) Recall() float64 {
+	if m.TP+m.FN == 0 {
+		return 0
+	}
+	return float64(m.TP) / float64(m.TP+m.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (m Metrics) F1() float64 {
+	p, r := m.Precision(), m.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Evaluate classifies each labeled document and tallies the confusion
+// matrix. It returns an error if the model is untrained.
+func (nb *NaiveBayes) Evaluate(texts []string, labels []bool) (Metrics, error) {
+	if len(texts) != len(labels) {
+		return Metrics{}, fmt.Errorf("classify: %d texts vs %d labels", len(texts), len(labels))
+	}
+	var m Metrics
+	for i, text := range texts {
+		pred, err := nb.Classify(text)
+		if err != nil {
+			return Metrics{}, err
+		}
+		switch {
+		case pred && labels[i]:
+			m.TP++
+		case pred && !labels[i]:
+			m.FP++
+		case !pred && labels[i]:
+			m.FN++
+		default:
+			m.TN++
+		}
+	}
+	return m, nil
+}

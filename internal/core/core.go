@@ -1,0 +1,249 @@
+// Package core is the public façade of the reproduction: a Study wires
+// the synthetic-web, extraction, demand and analysis substrates together
+// and exposes one method per paper artifact (Figures 1–9, Tables 1–2).
+//
+// A Study lazily builds and caches the expensive artifacts (synthetic
+// webs, entity–host indexes, demand aggregates) so running all
+// experiments touches each substrate once. Every result is deterministic
+// in the Study's seed.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/classify"
+	"repro/internal/demand"
+	"repro/internal/entity"
+	"repro/internal/extract"
+	"repro/internal/index"
+	"repro/internal/logs"
+	"repro/internal/synth"
+)
+
+// Config sizes a Study. Zero values take defaults scaled for a laptop
+// run of every experiment in minutes.
+type Config struct {
+	// Seed drives all generation; equal seeds give identical results.
+	Seed uint64
+	// Entities and DirectoryHosts size each domain's synthetic web.
+	Entities       int
+	DirectoryHosts int
+	// CatalogN sizes the §4 demand catalogs (per site).
+	CatalogN int
+	// EventsPerSource is the simulated click count per traffic source.
+	EventsPerSource int
+	// UseExtraction runs the full render → parse → extract pipeline to
+	// build indexes; false uses the model's direct decisions (identical
+	// output, no HTML work — see synth.DirectIndexes).
+	UseExtraction bool
+	// Workers bounds extraction concurrency (<= 0: GOMAXPROCS).
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Entities == 0 {
+		c.Entities = synth.ScaleDefault.Entities
+	}
+	if c.DirectoryHosts == 0 {
+		c.DirectoryHosts = synth.ScaleDefault.DirectoryHosts
+	}
+	if c.CatalogN == 0 {
+		c.CatalogN = 30000
+	}
+	if c.EventsPerSource == 0 {
+		c.EventsPerSource = 20 * c.CatalogN
+	}
+	return c
+}
+
+// Study runs the paper's experiments over one configuration.
+type Study struct {
+	cfg Config
+
+	mu       sync.Mutex
+	webs     map[entity.Domain]*synth.Web
+	indexes  map[entity.Domain]map[entity.Attr]*index.Index
+	catalogs map[logs.Site]*demand.Catalog
+	demands  map[logs.Site]map[logs.Source][]demand.Estimate
+	reviewNB *classify.NaiveBayes
+}
+
+// NewStudy returns a Study over cfg.
+func NewStudy(cfg Config) *Study {
+	return &Study{
+		cfg:      cfg.withDefaults(),
+		webs:     make(map[entity.Domain]*synth.Web),
+		indexes:  make(map[entity.Domain]map[entity.Attr]*index.Index),
+		catalogs: make(map[logs.Site]*demand.Catalog),
+		demands:  make(map[logs.Site]map[logs.Source][]demand.Estimate),
+	}
+}
+
+// Config returns the resolved configuration.
+func (s *Study) Config() Config { return s.cfg }
+
+// Web returns (building if needed) the synthetic web for a domain.
+func (s *Study) Web(d entity.Domain) (*synth.Web, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.webLocked(d)
+}
+
+func (s *Study) webLocked(d entity.Domain) (*synth.Web, error) {
+	if w, ok := s.webs[d]; ok {
+		return w, nil
+	}
+	w, err := synth.Generate(synth.Config{
+		Domain:         d,
+		Entities:       s.cfg.Entities,
+		DirectoryHosts: s.cfg.DirectoryHosts,
+		Seed:           s.cfg.Seed ^ domainSalt(d),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: generate web for %s: %w", d, err)
+	}
+	s.webs[d] = w
+	return w, nil
+}
+
+// domainSalt decorrelates per-domain generation under one master seed.
+func domainSalt(d entity.Domain) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(d); i++ {
+		h ^= uint64(d[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// ReviewClassifier returns the trained review classifier, training it on
+// first use from the restaurants web's labeled page generator.
+func (s *Study) ReviewClassifier() (*classify.NaiveBayes, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reviewClassifierLocked()
+}
+
+func (s *Study) reviewClassifierLocked() (*classify.NaiveBayes, error) {
+	if s.reviewNB != nil {
+		return s.reviewNB, nil
+	}
+	w, err := s.webLocked(entity.Restaurants)
+	if err != nil {
+		return nil, err
+	}
+	pages, labels := w.TrainingPages(400, s.cfg.Seed^0xc1a551f7)
+	nb, err := extract.TrainReviewClassifier(pages, labels)
+	if err != nil {
+		return nil, fmt.Errorf("core: train review classifier: %w", err)
+	}
+	s.reviewNB = nb
+	return nb, nil
+}
+
+// Indexes returns the per-attribute entity–host indexes for a domain,
+// built by the configured pipeline (direct or full extraction).
+func (s *Study) Indexes(d entity.Domain) (map[entity.Attr]*index.Index, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if idx, ok := s.indexes[d]; ok {
+		return idx, nil
+	}
+	w, err := s.webLocked(d)
+	if err != nil {
+		return nil, err
+	}
+	var idxs map[entity.Attr]*index.Index
+	if s.cfg.UseExtraction {
+		var nb *classify.NaiveBayes
+		if d == entity.Restaurants {
+			nb, err = s.reviewClassifierLocked()
+			if err != nil {
+				return nil, err
+			}
+		}
+		idxs, err = w.ExtractIndexes(nb, s.cfg.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("core: extract indexes for %s: %w", d, err)
+		}
+	} else {
+		idxs = w.DirectIndexes()
+	}
+	s.indexes[d] = idxs
+	return idxs, nil
+}
+
+// Index returns one (domain, attribute) index, erroring if the attribute
+// is not studied for the domain.
+func (s *Study) Index(d entity.Domain, a entity.Attr) (*index.Index, error) {
+	idxs, err := s.Indexes(d)
+	if err != nil {
+		return nil, err
+	}
+	idx, ok := idxs[a]
+	if !ok {
+		return nil, fmt.Errorf("core: attribute %s not studied for domain %s", a, d)
+	}
+	return idx, nil
+}
+
+// Catalog returns the demand catalog for one §4 site.
+func (s *Study) Catalog(site logs.Site) (*demand.Catalog, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.catalogLocked(site)
+}
+
+func (s *Study) catalogLocked(site logs.Site) (*demand.Catalog, error) {
+	if c, ok := s.catalogs[site]; ok {
+		return c, nil
+	}
+	cat, err := demand.GenerateCatalog(demand.SiteDefaults(site, s.cfg.CatalogN, s.cfg.Seed^siteSalt(site)))
+	if err != nil {
+		return nil, fmt.Errorf("core: generate catalog for %s: %w", site, err)
+	}
+	s.catalogs[site] = cat
+	return cat, nil
+}
+
+func siteSalt(site logs.Site) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(site); i++ {
+		h ^= uint64(site[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Demand returns per-entity demand estimates for one site, simulating
+// and aggregating its click logs on first use.
+func (s *Study) Demand(site logs.Site) (map[logs.Source][]demand.Estimate, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d, ok := s.demands[site]; ok {
+		return d, nil
+	}
+	cat, err := s.catalogLocked(site)
+	if err != nil {
+		return nil, err
+	}
+	agg := demand.NewAggregator(cat)
+	err = demand.Simulate(cat, demand.SimConfig{
+		Events:  s.cfg.EventsPerSource,
+		Cookies: 4 * s.cfg.CatalogN,
+		Seed:    s.cfg.Seed ^ siteSalt(site) ^ 0x51b,
+	}, func(c logs.Click) error {
+		agg.Add(c)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: simulate demand for %s: %w", site, err)
+	}
+	out := map[logs.Source][]demand.Estimate{
+		logs.Search: agg.Demand(logs.Search),
+		logs.Browse: agg.Demand(logs.Browse),
+	}
+	s.demands[site] = out
+	return out, nil
+}

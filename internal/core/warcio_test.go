@@ -1,0 +1,100 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/entity"
+	"repro/internal/synth"
+)
+
+func smallWeb(t *testing.T, d entity.Domain) *synth.Web {
+	t.Helper()
+	w, err := synth.Generate(synth.Config{
+		Domain: d, Entities: 200, DirectoryHosts: 300, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestWriteWARCAndExtractRoundTrip(t *testing.T) {
+	for _, gz := range []bool{false, true} {
+		w := smallWeb(t, entity.Banks)
+		var buf bytes.Buffer
+		cdx, err := WriteWARC(w, &buf, gz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cdx.Entries) == 0 {
+			t.Fatal("empty capture index")
+		}
+		idxs, pages, err := ExtractWARC(bytes.NewReader(buf.Bytes()), w.DB, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pages != len(cdx.Entries) {
+			t.Errorf("gz=%v: processed %d pages, cdx has %d", gz, pages, len(cdx.Entries))
+		}
+		direct := w.DirectIndexes()
+		for _, a := range []entity.Attr{entity.AttrPhone, entity.AttrHomepage} {
+			got := flattenIndex(idxs[a])
+			want := flattenIndex(direct[a])
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("gz=%v: WARC-extracted %s index differs from model", gz, a)
+			}
+			if idxs[a].NumEntities != direct[a].NumEntities {
+				t.Errorf("gz=%v: %s universes differ: %d vs %d",
+					gz, a, idxs[a].NumEntities, direct[a].NumEntities)
+			}
+		}
+	}
+}
+
+func flattenIndex(idx interface {
+	TotalPostings() int
+}) int {
+	return idx.TotalPostings()
+}
+
+func TestWriteWARCDeterministic(t *testing.T) {
+	render := func() []byte {
+		w := smallWeb(t, entity.Schools)
+		var buf bytes.Buffer
+		if _, err := WriteWARC(w, &buf, false); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Error("WARC output not byte-reproducible")
+	}
+}
+
+func TestExtractWARCGarbage(t *testing.T) {
+	w := smallWeb(t, entity.Banks)
+	if _, _, err := ExtractWARC(bytes.NewReader([]byte("not a warc")), w.DB, nil); err == nil {
+		t.Error("garbage input should fail")
+	}
+}
+
+func TestExtractWARCCDXHostsMatchSites(t *testing.T) {
+	w := smallWeb(t, entity.Hotels)
+	var buf bytes.Buffer
+	cdx, err := WriteWARC(w, &buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := map[string]bool{}
+	for i := range w.Sites {
+		hosts[w.Sites[i].Host] = true
+	}
+	for _, h := range cdx.Hosts() {
+		if !hosts[h] {
+			t.Errorf("cdx host %q not a model site", h)
+		}
+	}
+}

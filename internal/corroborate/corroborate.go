@@ -1,0 +1,182 @@
+// Package corroborate makes the §3.3 motivation for k-coverage
+// operational. The paper analyzes k-coverage because "one may be
+// looking for a piece of information from k different sources to place
+// a high confidence in the extraction" — errors creep in from noisy
+// pages and false matches (§3.5). This package simulates exactly that:
+// each (site, entity) posting yields an extracted attribute value that
+// is correct with probability 1−noise and otherwise corrupted, and a
+// resolver accepts a value only when at least k sites agree on it.
+// Sweeping k trades recall (bounded by the k-coverage curve) against
+// precision (driven toward 1 by voting), quantifying the redundancy
+// argument of the paper's conclusions.
+package corroborate
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/index"
+)
+
+// Truth supplies the correct attribute value per entity ID; it must
+// return "" for entities that have no value (these are skipped).
+type Truth func(id int) string
+
+// Corruption distinguishes how a noisy extraction goes wrong.
+type Corruption int
+
+// Corruption modes.
+const (
+	// Junk replaces the value with a site-specific garbage string —
+	// OCR-style noise that different sites do not agree on.
+	Junk Corruption = iota
+	// Confusion replaces the value with another entity's true value —
+	// the §3.5 false-match mode (a number that happens to look like a
+	// different phone). Confusions CAN collide across sites, making
+	// voting genuinely necessary rather than trivially sufficient.
+	Confusion
+)
+
+// Config controls observation simulation.
+type Config struct {
+	// Noise is the per-posting probability the extraction is wrong.
+	Noise float64
+	// Mode picks the corruption model.
+	Mode Corruption
+	// Seed drives the simulation.
+	Seed uint64
+}
+
+// Observation is one site's extracted value for one entity.
+type Observation struct {
+	Entity int
+	Value  string
+}
+
+// Observations holds the simulated extractions grouped by entity.
+type Observations struct {
+	// perEntity[e] lists the values extracted for e across sites.
+	perEntity map[int][]string
+	truth     Truth
+}
+
+// Simulate derives noisy per-(site, entity) extractions from the
+// index's postings. It returns an error for invalid noise.
+func Simulate(idx *index.Index, truth Truth, cfg Config) (*Observations, error) {
+	if cfg.Noise < 0 || cfg.Noise > 1 {
+		return nil, fmt.Errorf("corroborate: noise %v outside [0,1]", cfg.Noise)
+	}
+	if truth == nil {
+		return nil, fmt.Errorf("corroborate: nil truth function")
+	}
+	rng := dist.NewRNG(cfg.Seed ^ 0xc0bb0a7e)
+	obs := &Observations{perEntity: make(map[int][]string), truth: truth}
+
+	// Pool of true values for Confusion mode.
+	var pool []string
+	if cfg.Mode == Confusion {
+		seen := map[int]struct{}{}
+		for i := range idx.Sites {
+			for _, e := range idx.Sites[i].Entities {
+				if _, dup := seen[e]; dup {
+					continue
+				}
+				seen[e] = struct{}{}
+				if v := truth(e); v != "" {
+					pool = append(pool, v)
+				}
+			}
+		}
+		if len(pool) == 0 {
+			return nil, fmt.Errorf("corroborate: no true values for confusion pool")
+		}
+	}
+
+	junkCounter := 0
+	for i := range idx.Sites {
+		for _, e := range idx.Sites[i].Entities {
+			v := truth(e)
+			if v == "" {
+				continue
+			}
+			if rng.Float64() < cfg.Noise {
+				switch cfg.Mode {
+				case Confusion:
+					v = pool[rng.Intn(len(pool))]
+				default:
+					junkCounter++
+					v = fmt.Sprintf("junk-%d-%d", i, junkCounter)
+				}
+			}
+			obs.perEntity[e] = append(obs.perEntity[e], v)
+		}
+	}
+	return obs, nil
+}
+
+// Resolve returns, for each entity, the value supported by at least k
+// observations (choosing the most supported; ties broken by value
+// order for determinism). Entities with no value reaching the
+// threshold are absent from the result.
+func (o *Observations) Resolve(k int) (map[int]string, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("corroborate: k must be >= 1, got %d", k)
+	}
+	out := make(map[int]string)
+	for e, values := range o.perEntity {
+		counts := make(map[string]int, len(values))
+		for _, v := range values {
+			counts[v]++
+		}
+		best, bestN := "", 0
+		for v, n := range counts {
+			if n > bestN || (n == bestN && v < best) {
+				best, bestN = v, n
+			}
+		}
+		if bestN >= k {
+			out[e] = best
+		}
+	}
+	return out, nil
+}
+
+// Metrics summarizes resolution quality against the truth over a given
+// entity universe size.
+type Metrics struct {
+	K         int
+	Resolved  int     // entities for which some value was accepted
+	Correct   int     // accepted values that match the truth
+	Precision float64 // Correct / Resolved
+	Recall    float64 // Correct / universe
+}
+
+// Evaluate sweeps k = 1..kMax and reports precision/recall per k.
+// universe is the recall denominator (typically the entity DB size).
+func (o *Observations) Evaluate(kMax, universe int) ([]Metrics, error) {
+	if kMax < 1 {
+		return nil, fmt.Errorf("corroborate: kMax must be >= 1, got %d", kMax)
+	}
+	if universe < 1 {
+		return nil, fmt.Errorf("corroborate: universe must be >= 1, got %d", universe)
+	}
+	out := make([]Metrics, 0, kMax)
+	for k := 1; k <= kMax; k++ {
+		resolved, err := o.Resolve(k)
+		if err != nil {
+			return nil, err
+		}
+		m := Metrics{K: k, Resolved: len(resolved)}
+		for e, v := range resolved {
+			if v == o.truth(e) {
+				m.Correct++
+			}
+		}
+		if m.Resolved > 0 {
+			m.Precision = float64(m.Correct) / float64(m.Resolved)
+		}
+		m.Recall = float64(m.Correct) / float64(universe)
+		out = append(out, m)
+	}
+	return out, nil
+}

@@ -1,0 +1,194 @@
+package corroborate
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/entity"
+	"repro/internal/index"
+	"repro/internal/synth"
+)
+
+func mkIndex(t *testing.T, postings map[string][]int, numEntities int) *index.Index {
+	t.Helper()
+	b := index.NewBuilder(entity.Banks, entity.AttrPhone, numEntities)
+	for host, ids := range postings {
+		for _, id := range ids {
+			b.Add(host, id)
+		}
+	}
+	return b.Build()
+}
+
+func truthN(id int) string { return fmt.Sprintf("value-%d", id) }
+
+func TestSimulateValidation(t *testing.T) {
+	idx := mkIndex(t, map[string][]int{"a": {0}}, 1)
+	if _, err := Simulate(idx, truthN, Config{Noise: -0.1}); err == nil {
+		t.Error("negative noise should fail")
+	}
+	if _, err := Simulate(idx, truthN, Config{Noise: 1.1}); err == nil {
+		t.Error("noise > 1 should fail")
+	}
+	if _, err := Simulate(idx, nil, Config{}); err == nil {
+		t.Error("nil truth should fail")
+	}
+}
+
+func TestNoiselessPerfect(t *testing.T) {
+	idx := mkIndex(t, map[string][]int{
+		"a": {0, 1, 2}, "b": {0, 1}, "c": {0},
+	}, 3)
+	obs, err := Simulate(idx, truthN, Config{Noise: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := obs.Evaluate(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k=1: all 3 entities resolve correctly.
+	if ms[0].Precision != 1 || ms[0].Recall != 1 {
+		t.Errorf("k=1 noiseless: %+v", ms[0])
+	}
+	// k=3: only entity 0 is on 3 sites.
+	if ms[2].Resolved != 1 || ms[2].Correct != 1 {
+		t.Errorf("k=3: %+v", ms[2])
+	}
+}
+
+func TestSkipsEntitiesWithoutTruth(t *testing.T) {
+	idx := mkIndex(t, map[string][]int{"a": {0, 1}}, 2)
+	partial := func(id int) string {
+		if id == 0 {
+			return "v0"
+		}
+		return ""
+	}
+	obs, err := Simulate(idx, partial, Config{Noise: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolved, err := obs.Resolve(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resolved) != 1 {
+		t.Errorf("resolved = %v", resolved)
+	}
+}
+
+func TestResolveValidation(t *testing.T) {
+	idx := mkIndex(t, map[string][]int{"a": {0}}, 1)
+	obs, _ := Simulate(idx, truthN, Config{})
+	if _, err := obs.Resolve(0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := obs.Evaluate(0, 1); err == nil {
+		t.Error("kMax=0 should fail")
+	}
+	if _, err := obs.Evaluate(1, 0); err == nil {
+		t.Error("universe=0 should fail")
+	}
+}
+
+func TestJunkNoiseVotedOut(t *testing.T) {
+	// Entity on many sites with junk noise: k=2 restores precision since
+	// junk values never repeat.
+	postings := map[string][]int{}
+	for s := 0; s < 20; s++ {
+		postings[fmt.Sprintf("s%02d.com", s)] = []int{0}
+	}
+	idx := mkIndex(t, postings, 1)
+	obs, err := Simulate(idx, truthN, Config{Noise: 0.4, Mode: Junk, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolved, err := obs.Resolve(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resolved[0] != "value-0" {
+		t.Errorf("k=2 resolution = %q", resolved[0])
+	}
+}
+
+func TestPrecisionImprovesWithK(t *testing.T) {
+	// Realistic setup: a synthetic web with heavy confusion noise.
+	web, err := synth.Generate(synth.Config{
+		Domain: entity.Banks, Entities: 400, DirectoryHosts: 600, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := web.DirectIndexes()[entity.AttrPhone]
+	truth := func(id int) string { return string(web.DB.Entities[id].Phone) }
+	obs, err := Simulate(idx, truth, Config{Noise: 0.25, Mode: Confusion, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := obs.Evaluate(5, web.DB.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms[0].Precision >= 0.995 {
+		t.Errorf("k=1 precision %v suspiciously perfect under 25%% noise", ms[0].Precision)
+	}
+	if ms[4].Precision <= ms[0].Precision {
+		t.Errorf("precision should improve with k: k=1 %v vs k=5 %v",
+			ms[0].Precision, ms[4].Precision)
+	}
+	if ms[4].Precision < 0.99 {
+		t.Errorf("k=5 precision = %v, want ~1", ms[4].Precision)
+	}
+	// Recall must not increase with k.
+	for i := 1; i < len(ms); i++ {
+		if ms[i].Recall > ms[i-1].Recall+1e-12 {
+			t.Errorf("recall increased with k: %+v", ms)
+		}
+	}
+}
+
+func TestConfusionNeedsVoting(t *testing.T) {
+	// With confusion noise, wrong values repeat across sites and k=1
+	// accepts them; the resolver must pick the plurality.
+	idx := mkIndex(t, map[string][]int{
+		"a": {0}, "b": {0}, "c": {0}, "d": {0}, "e": {0},
+	}, 1)
+	obs, err := Simulate(idx, truthN, Config{Noise: 0.3, Mode: Confusion, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolved, err := obs.Resolve(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a single entity the confusion pool is its own value, so the
+	// result is trivially right — this guards the pool construction.
+	if resolved[0] != "value-0" {
+		t.Errorf("resolution = %q", resolved[0])
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	idx := mkIndex(t, map[string][]int{
+		"a": {0, 1}, "b": {1, 2}, "c": {0, 2},
+	}, 3)
+	run := func() []Metrics {
+		obs, err := Simulate(idx, truthN, Config{Noise: 0.5, Mode: Junk, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, err := obs.Evaluate(3, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ms
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run differs at k=%d: %+v vs %+v", i+1, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package demand
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CDFPoint is one point of the Figure 6(a/c) cumulative-demand curve.
+type CDFPoint struct {
+	InventoryFrac float64 // fraction of inventory, sorted by demand desc
+	DemandFrac    float64 // fraction of total demand satisfied
+}
+
+// DemandCDF computes cumulative demand vs normalized inventory: sort
+// entities by demand descending, then walk the inventory accumulating
+// demand share (Figure 6 a and c). points controls the resolution.
+func DemandCDF(demand []float64, points int) ([]CDFPoint, error) {
+	if len(demand) == 0 {
+		return nil, fmt.Errorf("demand: empty demand vector")
+	}
+	if points < 2 {
+		points = 2
+	}
+	sorted := append([]float64(nil), demand...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	total := 0.0
+	for _, d := range sorted {
+		total += d
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("demand: zero total demand")
+	}
+	out := make([]CDFPoint, 0, points)
+	cum := 0.0
+	next := 0
+	for i, d := range sorted {
+		cum += d
+		// Emit at evenly spaced inventory fractions.
+		for next < points && float64(i+1) >= float64(next+1)*float64(len(sorted))/float64(points) {
+			out = append(out, CDFPoint{
+				InventoryFrac: float64(i+1) / float64(len(sorted)),
+				DemandFrac:    cum / total,
+			})
+			next++
+		}
+	}
+	return out, nil
+}
+
+// PDFPoint is one point of the Figure 6(b/d) rank–share curve.
+type PDFPoint struct {
+	Rank       int     // demand rank, 1-based
+	DemandFrac float64 // this entity's share of total demand
+}
+
+// DemandPDF computes per-rank demand share on a log-spaced rank grid
+// (Figure 6 b and d plot share vs rank on log-log axes).
+func DemandPDF(demand []float64) ([]PDFPoint, error) {
+	if len(demand) == 0 {
+		return nil, fmt.Errorf("demand: empty demand vector")
+	}
+	sorted := append([]float64(nil), demand...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	total := 0.0
+	for _, d := range sorted {
+		total += d
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("demand: zero total demand")
+	}
+	var out []PDFPoint
+	for rank := 1; rank <= len(sorted); {
+		out = append(out, PDFPoint{Rank: rank, DemandFrac: sorted[rank-1] / total})
+		// log-spaced: 1,2,...,9,10,20,...
+		step := 1
+		for s := 10; s <= rank; s *= 10 {
+			step = s
+		}
+		rank += step
+	}
+	return out, nil
+}
+
+// TopShare returns the demand share of the top frac of inventory
+// (demand-sorted), e.g. TopShare(d, 0.2) for "top 20% of titles account
+// for X% of demand".
+func TopShare(demand []float64, frac float64) float64 {
+	if len(demand) == 0 || frac <= 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), demand...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	k := int(frac * float64(len(sorted)))
+	if k < 1 {
+		k = 1
+	}
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	var top, total float64
+	for i, d := range sorted {
+		if i < k {
+			top += d
+		}
+		total += d
+	}
+	if total == 0 {
+		return 0
+	}
+	return top / total
+}

@@ -1,0 +1,147 @@
+package demand
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/logs"
+)
+
+// HLL is a HyperLogLog distinct-count sketch, the ablation alternative
+// to exact per-entity cookie sets (DESIGN.md: BenchmarkAblationCookies).
+// At web scale the exact sets the paper could afford on a grid do not
+// fit in one process; HLL trades ~2% relative error for constant space.
+type HLL struct {
+	p    uint8 // precision: m = 2^p registers
+	regs []uint8
+}
+
+// NewHLL returns a sketch with 2^p registers; p must be in [4, 16].
+func NewHLL(p uint8) (*HLL, error) {
+	if p < 4 || p > 16 {
+		return nil, fmt.Errorf("demand: HLL precision %d outside [4,16]", p)
+	}
+	return &HLL{p: p, regs: make([]uint8, 1<<p)}, nil
+}
+
+// Add inserts a 64-bit item (already well-mixed IDs should still be
+// hashed; Add applies a 64-bit finalizer).
+func (h *HLL) Add(x uint64) {
+	x = mix64(x)
+	idx := x >> (64 - h.p)
+	rest := x<<h.p | 1<<(uint(h.p)-1) // guarantee a terminator bit
+	rho := uint8(bits.LeadingZeros64(rest)) + 1
+	if rho > h.regs[idx] {
+		h.regs[idx] = rho
+	}
+}
+
+// Count estimates the number of distinct items added.
+func (h *HLL) Count() int {
+	m := float64(len(h.regs))
+	var sum float64
+	zeros := 0
+	for _, r := range h.regs {
+		sum += 1 / float64(uint64(1)<<r)
+		if r == 0 {
+			zeros++
+		}
+	}
+	alpha := 0.7213 / (1 + 1.079/m)
+	est := alpha * m * m / sum
+	// Small-range correction (linear counting).
+	if est <= 2.5*m && zeros > 0 {
+		est = m * math.Log(m/float64(zeros))
+	}
+	return int(est + 0.5)
+}
+
+// Merge folds other into h; both must share the precision.
+func (h *HLL) Merge(other *HLL) error {
+	if h.p != other.p {
+		return fmt.Errorf("demand: merging HLL p=%d into p=%d", other.p, h.p)
+	}
+	for i, r := range other.regs {
+		if r > h.regs[i] {
+			h.regs[i] = r
+		}
+	}
+	return nil
+}
+
+// mix64 is the SplitMix64 finalizer, a strong 64-bit mixer.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// SketchAggregator mirrors Aggregator but counts unique cookies with
+// HyperLogLog sketches instead of exact sets. Sketches are allocated
+// lazily: most tail entities see a handful of clicks.
+type SketchAggregator struct {
+	byKey     map[string]int
+	site      logs.Site
+	precision uint8
+	perSrc    map[logs.Source][]*HLL
+	visits    map[logs.Source][]int
+}
+
+// NewSketchAggregator returns a sketch-based aggregator with the given
+// HLL precision.
+func NewSketchAggregator(cat *Catalog, precision uint8) (*SketchAggregator, error) {
+	if precision < 4 || precision > 16 {
+		return nil, fmt.Errorf("demand: precision %d outside [4,16]", precision)
+	}
+	sa := &SketchAggregator{
+		byKey:     cat.ByKey(),
+		site:      cat.Site,
+		precision: precision,
+		perSrc:    make(map[logs.Source][]*HLL, 2),
+		visits:    make(map[logs.Source][]int, 2),
+	}
+	for _, s := range []logs.Source{logs.Search, logs.Browse} {
+		sa.perSrc[s] = make([]*HLL, len(cat.Entities))
+		sa.visits[s] = make([]int, len(cat.Entities))
+	}
+	return sa, nil
+}
+
+// Add folds one click into the sketches.
+func (sa *SketchAggregator) Add(c logs.Click) {
+	site, key, ok := logs.ParseEntityURL(c.URL)
+	if !ok || site != sa.site {
+		return
+	}
+	id, ok := sa.byKey[key]
+	if !ok {
+		return
+	}
+	sketches, okSrc := sa.perSrc[c.Source]
+	if !okSrc {
+		return
+	}
+	if sketches[id] == nil {
+		h, err := NewHLL(sa.precision)
+		if err != nil {
+			return // precision validated at construction; unreachable
+		}
+		sketches[id] = h
+	}
+	sketches[id].Add(c.Cookie)
+	sa.visits[c.Source][id]++
+}
+
+// Demand returns per-entity estimates from the sketches.
+func (sa *SketchAggregator) Demand(source logs.Source) []Estimate {
+	sketches := sa.perSrc[source]
+	out := make([]Estimate, len(sketches))
+	for i, h := range sketches {
+		out[i].Visits = sa.visits[source][i]
+		if h != nil {
+			out[i].UniqueCookies = h.Count()
+		}
+	}
+	return out
+}

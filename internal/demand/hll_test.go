@@ -1,0 +1,121 @@
+package demand
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/logs"
+)
+
+func TestNewHLLValidation(t *testing.T) {
+	for _, p := range []uint8{0, 3, 17} {
+		if _, err := NewHLL(p); err == nil {
+			t.Errorf("precision %d should fail", p)
+		}
+	}
+}
+
+func TestHLLAccuracy(t *testing.T) {
+	for _, n := range []int{10, 100, 1000, 50000} {
+		h, err := NewHLL(12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := dist.NewRNG(uint64(n))
+		for i := 0; i < n; i++ {
+			h.Add(rng.Uint64())
+		}
+		got := h.Count()
+		relErr := math.Abs(float64(got)-float64(n)) / float64(n)
+		if relErr > 0.06 {
+			t.Errorf("n=%d: estimate %d, rel err %v", n, got, relErr)
+		}
+	}
+}
+
+func TestHLLDuplicatesDontInflate(t *testing.T) {
+	h, _ := NewHLL(12)
+	for i := 0; i < 100000; i++ {
+		h.Add(uint64(i % 50))
+	}
+	if got := h.Count(); got < 40 || got > 60 {
+		t.Errorf("50 distinct heavily repeated: estimate %d", got)
+	}
+}
+
+func TestHLLEmpty(t *testing.T) {
+	h, _ := NewHLL(8)
+	if got := h.Count(); got != 0 {
+		t.Errorf("empty sketch counts %d", got)
+	}
+}
+
+func TestHLLMerge(t *testing.T) {
+	a, _ := NewHLL(12)
+	b, _ := NewHLL(12)
+	rng := dist.NewRNG(1)
+	vals := make([]uint64, 2000)
+	for i := range vals {
+		vals[i] = rng.Uint64()
+	}
+	for i, v := range vals {
+		if i < 1200 {
+			a.Add(v)
+		}
+		if i >= 800 {
+			b.Add(v)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	got := a.Count()
+	if math.Abs(float64(got)-2000) > 2000*0.06 {
+		t.Errorf("merged estimate %d, want ~2000", got)
+	}
+	c, _ := NewHLL(10)
+	if err := a.Merge(c); err == nil {
+		t.Error("precision mismatch should fail")
+	}
+}
+
+func TestSketchAggregatorTracksExact(t *testing.T) {
+	cat := testCatalog(t, logs.Amazon, 100)
+	exact := NewAggregator(cat)
+	sketch, err := NewSketchAggregator(cat, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Simulate(cat, SimConfig{Events: 30000, Cookies: 8000, Seed: 6}, func(c logs.Click) error {
+		exact.Add(c)
+		sketch.Add(c)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range []logs.Source{logs.Search, logs.Browse} {
+		e := exact.Demand(src)
+		s := sketch.Demand(src)
+		for i := range e {
+			if e[i].Visits != s[i].Visits {
+				t.Fatalf("%s entity %d: visit counts differ", src, i)
+			}
+			if e[i].UniqueCookies >= 100 {
+				relErr := math.Abs(float64(s[i].UniqueCookies)-float64(e[i].UniqueCookies)) /
+					float64(e[i].UniqueCookies)
+				if relErr > 0.12 {
+					t.Errorf("%s entity %d: sketch %d vs exact %d (rel %v)",
+						src, i, s[i].UniqueCookies, e[i].UniqueCookies, relErr)
+				}
+			}
+		}
+	}
+}
+
+func TestSketchAggregatorValidation(t *testing.T) {
+	cat := testCatalog(t, logs.Yelp, 5)
+	if _, err := NewSketchAggregator(cat, 2); err == nil {
+		t.Error("bad precision should fail")
+	}
+}

@@ -1,0 +1,171 @@
+package demand
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/logs"
+)
+
+// SimConfig controls click-log simulation for one catalog.
+type SimConfig struct {
+	// Events is the number of clicks to generate per source.
+	Events int
+	// Cookies is the size of the user (cookie) population.
+	Cookies int
+	// Seed drives the simulation.
+	Seed uint64
+	// BrowseHeadBias is added to the demand exponent for browse traffic:
+	// browse patterns are shaped by on-site promotion of popular items
+	// (§4.1), so browse demand is more head-concentrated than search.
+	BrowseHeadBias float64
+}
+
+// withSimDefaults fills zero fields.
+func withSimDefaults(cfg SimConfig, n int) SimConfig {
+	if cfg.Events == 0 {
+		cfg.Events = 40 * n
+	}
+	if cfg.Cookies == 0 {
+		cfg.Cookies = 8 * n
+	}
+	if cfg.BrowseHeadBias == 0 {
+		cfg.BrowseHeadBias = 0.15
+	}
+	return cfg
+}
+
+// Simulate generates the search and browse click streams for a catalog,
+// invoking emit for every click. Clicks reference entity URLs; cookies
+// are drawn from a finite population so unique-cookie counting
+// saturates realistically for head entities.
+func Simulate(cat *Catalog, cfg SimConfig, emit func(logs.Click) error) error {
+	if len(cat.Entities) == 0 {
+		return fmt.Errorf("demand: empty catalog")
+	}
+	cfg = withSimDefaults(cfg, len(cat.Entities))
+	for _, source := range []logs.Source{logs.Search, logs.Browse} {
+		if err := simulateSource(cat, cfg, source, emit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func simulateSource(cat *Catalog, cfg SimConfig, source logs.Source, emit func(logs.Click) error) error {
+	rng := dist.NewRNG(cfg.Seed ^ sourceSalt(source))
+	weights := make([]float64, len(cat.Entities))
+	bias := 0.0
+	if source == logs.Browse {
+		bias = cfg.BrowseHeadBias
+	}
+	for i, e := range cat.Entities {
+		// Browse head bias: tilt latent demand by rank^-bias.
+		weights[i] = e.demand * math.Pow(float64(i+1), -bias)
+	}
+	alias, err := dist.NewAlias(weights)
+	if err != nil {
+		return fmt.Errorf("demand: alias over latent demand: %w", err)
+	}
+	for ev := 0; ev < cfg.Events; ev++ {
+		e := alias.Sample(rng)
+		c := logs.Click{
+			Source: source,
+			Cookie: uint64(rng.Intn(cfg.Cookies)) + 1,
+			Day:    rng.Intn(365),
+			URL:    cat.Entities[e].URL,
+		}
+		if err := emit(c); err != nil {
+			return fmt.Errorf("demand: emit click: %w", err)
+		}
+	}
+	return nil
+}
+
+func sourceSalt(s logs.Source) uint64 {
+	if s == logs.Search {
+		return 0x5ea4c4
+	}
+	return 0xb405e
+}
+
+// Estimate is the aggregated demand of one entity from one source.
+type Estimate struct {
+	// Visits is the raw click count.
+	Visits int
+	// UniqueCookies is the paper's demand measure: distinct cookies
+	// visiting the entity (§4.1: search uses per-month uniques summed;
+	// browse uses per-year uniques — both are distinct-count demands).
+	UniqueCookies int
+}
+
+// Aggregator folds a click stream into per-entity demand estimates for
+// one catalog. Exact distinct counting by default; see Sketch for the
+// HyperLogLog alternative.
+type Aggregator struct {
+	byKey  map[string]int
+	site   logs.Site
+	perSrc map[logs.Source][]entityAgg
+}
+
+type entityAgg struct {
+	visits  int
+	cookies map[uint64]struct{}
+}
+
+// NewAggregator returns an Aggregator for cat.
+func NewAggregator(cat *Catalog) *Aggregator {
+	a := &Aggregator{
+		byKey:  cat.ByKey(),
+		site:   cat.Site,
+		perSrc: make(map[logs.Source][]entityAgg, 2),
+	}
+	for _, s := range []logs.Source{logs.Search, logs.Browse} {
+		aggs := make([]entityAgg, len(cat.Entities))
+		for i := range aggs {
+			aggs[i].cookies = make(map[uint64]struct{})
+		}
+		a.perSrc[s] = aggs
+	}
+	return a
+}
+
+// Add folds one click. Clicks for other sites or non-entity URLs are
+// ignored (real logs are full of them).
+func (a *Aggregator) Add(c logs.Click) {
+	site, key, ok := logs.ParseEntityURL(c.URL)
+	if !ok || site != a.site {
+		return
+	}
+	id, ok := a.byKey[key]
+	if !ok {
+		return
+	}
+	aggs := a.perSrc[c.Source]
+	if aggs == nil {
+		return
+	}
+	aggs[id].visits++
+	aggs[id].cookies[c.Cookie] = struct{}{}
+}
+
+// Demand returns the per-entity estimates for one source, indexed by
+// entity ID.
+func (a *Aggregator) Demand(source logs.Source) []Estimate {
+	aggs := a.perSrc[source]
+	out := make([]Estimate, len(aggs))
+	for i := range aggs {
+		out[i] = Estimate{Visits: aggs[i].visits, UniqueCookies: len(aggs[i].cookies)}
+	}
+	return out
+}
+
+// UniqueVector extracts the unique-cookie demand vector from estimates.
+func UniqueVector(ests []Estimate) []float64 {
+	out := make([]float64, len(ests))
+	for i, e := range ests {
+		out[i] = float64(e.UniqueCookies)
+	}
+	return out
+}

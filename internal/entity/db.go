@@ -1,0 +1,210 @@
+package entity
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dist"
+	"repro/internal/textgen"
+)
+
+// Entity is one structured entity in a domain database. Exactly one of
+// the identifying attributes is populated for book entities (ISBN); local
+// businesses carry Phone and usually Homepage.
+type Entity struct {
+	ID       int    // dense index within its DB, 0-based
+	Domain   Domain // owning domain
+	Name     string
+	Phone    CanonicalPhone // local businesses; empty for books
+	Homepage string         // canonical homepage URL; may be empty
+	ISBN13   string         // books only: bare 13-digit ISBN
+	ISBN10   string         // books only: bare 10-char ISBN
+	Address  textgen.Address
+	PopRank  int // 1 = most popular entity in the domain
+}
+
+// DB is an immutable entity database for one domain with lookup indices
+// on every identifying attribute.
+type DB struct {
+	Domain   Domain
+	Entities []Entity
+
+	byPhone    map[CanonicalPhone]int
+	byISBN     map[string]int // keys: both ISBN-10 and ISBN-13 forms
+	byHomepage map[string]int // keys: canonical homepage host+path
+}
+
+// Config controls database generation.
+type Config struct {
+	Domain Domain
+	N      int    // number of entities
+	Seed   uint64 // generation seed
+	// HomepageFraction is the share of entities that have a homepage at
+	// all (tail businesses often have none). Default 0.85 when zero.
+	HomepageFraction float64
+}
+
+// Generate builds a deterministic entity database. It returns an error
+// for an invalid domain or non-positive N.
+func Generate(cfg Config) (*DB, error) {
+	if !cfg.Domain.Valid() {
+		return nil, fmt.Errorf("entity: invalid domain %q", cfg.Domain)
+	}
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("entity: need N > 0, got %d", cfg.N)
+	}
+	hf := cfg.HomepageFraction
+	if hf == 0 {
+		hf = 0.85
+	}
+	rng := dist.NewRNG(cfg.Seed ^ 0xe17a_b1e5)
+	db := &DB{
+		Domain:     cfg.Domain,
+		Entities:   make([]Entity, 0, cfg.N),
+		byPhone:    make(map[CanonicalPhone]int),
+		byISBN:     make(map[string]int),
+		byHomepage: make(map[string]int),
+	}
+	if cfg.Domain == Books {
+		genBooks(db, rng, cfg.N)
+	} else {
+		genBusinesses(db, rng, cfg.N, hf)
+	}
+	return db, nil
+}
+
+func genBooks(db *DB, rng *dist.RNG, n int) {
+	for i := 0; i < n; i++ {
+		// Draw distinct ISBN-10 bodies until unique.
+		var isbn10, isbn13 string
+		for {
+			body := fmt.Sprintf("%09d", rng.Intn(1_000_000_000))
+			check, err := ISBN10CheckDigit(body)
+			if err != nil {
+				continue
+			}
+			isbn10 = body + string(check)
+			if _, dup := db.byISBN[isbn10]; dup {
+				continue
+			}
+			conv, err := ISBN10To13(isbn10)
+			if err != nil {
+				continue
+			}
+			isbn13 = conv
+			break
+		}
+		e := Entity{
+			ID:      i,
+			Domain:  Books,
+			Name:    textgen.BookTitle(rng),
+			ISBN10:  isbn10,
+			ISBN13:  isbn13,
+			PopRank: i + 1,
+		}
+		db.Entities = append(db.Entities, e)
+		db.byISBN[isbn10] = i
+		db.byISBN[isbn13] = i
+	}
+}
+
+func genBusinesses(db *DB, rng *dist.RNG, n int, homepageFraction float64) {
+	for i := 0; i < n; i++ {
+		var phone CanonicalPhone
+		for {
+			phone = RandomPhone(rng)
+			if _, dup := db.byPhone[phone]; !dup {
+				break
+			}
+		}
+		name := textgen.BusinessName(rng, string(db.Domain))
+		e := Entity{
+			ID:      i,
+			Domain:  db.Domain,
+			Name:    name,
+			Phone:   phone,
+			Address: textgen.USAddress(rng),
+			PopRank: i + 1,
+		}
+		if rng.Float64() < homepageFraction {
+			e.Homepage = homepageURL(name, i)
+			db.byHomepage[CanonicalURL(e.Homepage)] = i
+		}
+		db.Entities = append(db.Entities, e)
+		db.byPhone[phone] = i
+	}
+}
+
+// homepageURL builds a unique homepage for entity i derived from its name.
+func homepageURL(name string, i int) string {
+	slug := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		default:
+			return -1
+		}
+	}, name)
+	if len(slug) > 24 {
+		slug = slug[:24]
+	}
+	return fmt.Sprintf("http://www.%s%d.example.com/", slug, i)
+}
+
+// CanonicalURL normalizes a URL for homepage identity comparison:
+// lower-cased scheme/host, "www." preserved, trailing slash dropped,
+// scheme dropped. The synthetic web renders homepages with small
+// variations (http/https, with/without trailing slash) and this is the
+// join key.
+func CanonicalURL(u string) string {
+	s := strings.TrimSpace(u)
+	switch {
+	case len(s) >= 8 && strings.EqualFold(s[:8], "https://"):
+		s = s[8:]
+	case len(s) >= 7 && strings.EqualFold(s[:7], "http://"):
+		s = s[7:]
+	}
+	if i := strings.IndexAny(s, "?#"); i >= 0 {
+		s = s[:i]
+	}
+	s = strings.TrimSuffix(s, "/")
+	// Host is case-insensitive; path (if any) is not, but synthetic
+	// homepages have no meaningful path casing.
+	return strings.ToLower(s)
+}
+
+// N returns the number of entities.
+func (db *DB) N() int { return len(db.Entities) }
+
+// LookupPhone returns the entity ID owning the given canonical phone.
+func (db *DB) LookupPhone(p CanonicalPhone) (int, bool) {
+	id, ok := db.byPhone[p]
+	return id, ok
+}
+
+// LookupISBN returns the entity ID owning the given bare ISBN
+// (10 or 13 form).
+func (db *DB) LookupISBN(isbn string) (int, bool) {
+	id, ok := db.byISBN[normalizeISBN(isbn)]
+	return id, ok
+}
+
+// LookupHomepage returns the entity ID whose homepage canonicalizes to
+// the same key as u.
+func (db *DB) LookupHomepage(u string) (int, bool) {
+	id, ok := db.byHomepage[CanonicalURL(u)]
+	return id, ok
+}
+
+// WithHomepage returns the IDs of entities that have a homepage.
+func (db *DB) WithHomepage() []int {
+	out := make([]int, 0, len(db.Entities))
+	for _, e := range db.Entities {
+		if e.Homepage != "" {
+			out = append(out, e.ID)
+		}
+	}
+	return out
+}

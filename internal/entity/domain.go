@@ -1,0 +1,103 @@
+// Package entity models the study's entity databases: the Yahoo!
+// Business Listings substitute (8 local-business domains, each entity
+// carrying a canonical US phone number and a homepage URL) and the book
+// database (ISBN-10/13 identifiers with valid check digits).
+//
+// Entities carry a popularity rank used by the synthetic web and demand
+// models: rank 1 is the most popular entity in its domain.
+package entity
+
+import "fmt"
+
+// Domain identifies one of the study's entity domains.
+type Domain string
+
+// The nine domains analyzed in the paper (Table 1).
+const (
+	Books       Domain = "books"
+	Restaurants Domain = "restaurants"
+	Automotive  Domain = "automotive"
+	Banks       Domain = "banks"
+	Libraries   Domain = "libraries"
+	Schools     Domain = "schools"
+	Hotels      Domain = "hotels"
+	Retail      Domain = "retail"
+	HomeGarden  Domain = "homegarden"
+)
+
+// LocalBusinessDomains lists the 8 local-business domains in the order
+// the paper's figures present them (Figure 1 a–h).
+var LocalBusinessDomains = []Domain{
+	Restaurants, Automotive, Banks, Hotels, Libraries, Retail, HomeGarden, Schools,
+}
+
+// AllDomains lists every domain including Books.
+var AllDomains = append([]Domain{Books}, LocalBusinessDomains...)
+
+// Title returns the display name used in figure captions.
+func (d Domain) Title() string {
+	switch d {
+	case Books:
+		return "Books"
+	case Restaurants:
+		return "Restaurants"
+	case Automotive:
+		return "Automotive"
+	case Banks:
+		return "Banks"
+	case Libraries:
+		return "Library"
+	case Schools:
+		return "Schools"
+	case Hotels:
+		return "Hotels & Lodging"
+	case Retail:
+		return "Retail & Shopping"
+	case HomeGarden:
+		return "Home & Garden"
+	default:
+		return string(d)
+	}
+}
+
+// Valid reports whether d is one of the known domains.
+func (d Domain) Valid() bool {
+	switch d {
+	case Books, Restaurants, Automotive, Banks, Libraries, Schools, Hotels, Retail, HomeGarden:
+		return true
+	}
+	return false
+}
+
+// Attr identifies an entity attribute whose spread the study measures.
+type Attr string
+
+// Attributes studied per Table 1.
+const (
+	AttrPhone    Attr = "phone"
+	AttrHomepage Attr = "homepage"
+	AttrISBN     Attr = "isbn"
+	AttrReview   Attr = "reviews"
+)
+
+// AttrsFor returns the attributes studied for domain d (Table 1).
+func AttrsFor(d Domain) []Attr {
+	switch d {
+	case Books:
+		return []Attr{AttrISBN}
+	case Restaurants:
+		return []Attr{AttrPhone, AttrHomepage, AttrReview}
+	default:
+		return []Attr{AttrPhone, AttrHomepage}
+	}
+}
+
+// ParseDomain converts a string to a Domain, accepting the canonical
+// lower-case keys. It returns an error for unknown values.
+func ParseDomain(s string) (Domain, error) {
+	d := Domain(s)
+	if !d.Valid() {
+		return "", fmt.Errorf("entity: unknown domain %q", s)
+	}
+	return d, nil
+}

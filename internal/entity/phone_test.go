@@ -1,0 +1,96 @@
+package entity
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dist"
+)
+
+func TestCanonicalPhoneValid(t *testing.T) {
+	valid := []CanonicalPhone{"4155551234", "2125559876", "9995552000"}
+	for _, p := range valid {
+		if !p.Valid() {
+			t.Errorf("%q should be valid", p)
+		}
+	}
+	invalid := []CanonicalPhone{"", "123", "41555512345", "0155551234", "4105551234x", "415555123a", "1155551234", "4151551234"}
+	for _, p := range invalid {
+		if p.Valid() {
+			t.Errorf("%q should be invalid", p)
+		}
+	}
+}
+
+func TestPhoneFormats(t *testing.T) {
+	p := CanonicalPhone("4155551234")
+	if got := p.Format(); got != "(415) 555-1234" {
+		t.Errorf("Format = %q", got)
+	}
+	if got := p.FormatDashed(); got != "415-555-1234" {
+		t.Errorf("FormatDashed = %q", got)
+	}
+	if got := p.FormatDotted(); got != "415.555.1234" {
+		t.Errorf("FormatDotted = %q", got)
+	}
+	// Short phones pass through unformatted.
+	if got := CanonicalPhone("123").Format(); got != "123" {
+		t.Errorf("short Format = %q", got)
+	}
+}
+
+func TestNormalizePhone(t *testing.T) {
+	cases := []struct {
+		in   string
+		want CanonicalPhone
+		ok   bool
+	}{
+		{"(415) 555-1234", "4155551234", true},
+		{"415-555-1234", "4155551234", true},
+		{"415.555.1234", "4155551234", true},
+		{"4155551234", "4155551234", true},
+		{"+1 415 555 1234", "4155551234", true},
+		{"1-415-555-1234", "4155551234", true},
+		{"call 415 555 1234 now", "4155551234", true},
+		{"555-1234", "", false},         // 7 digits
+		{"(015) 555-1234", "", false},   // bad area code
+		{"(415) 155-1234", "", false},   // bad exchange
+		{"41555512345", "", false},      // 11 digits, no leading 1
+		{"2-415-555-1234", "", false},   // 11 digits, leading 2
+		{"415-555-1234 x89", "", false}, // extension adds digits
+		{"", "", false},
+	}
+	for _, c := range cases {
+		got, ok := NormalizePhone(c.in)
+		if ok != c.ok || got != c.want {
+			t.Errorf("NormalizePhone(%q) = (%q, %v), want (%q, %v)", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestNormalizeRoundTrip(t *testing.T) {
+	// Every formatted rendering of a random phone must normalize back.
+	f := func(seed uint64) bool {
+		rng := dist.NewRNG(seed)
+		p := RandomPhone(rng)
+		for _, s := range []string{p.Format(), p.FormatDashed(), p.FormatDotted(), string(p)} {
+			got, ok := NormalizePhone(s)
+			if !ok || got != p {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomPhoneAlwaysValid(t *testing.T) {
+	rng := dist.NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		if p := RandomPhone(rng); !p.Valid() {
+			t.Fatalf("RandomPhone produced invalid %q", p)
+		}
+	}
+}

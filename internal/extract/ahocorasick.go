@@ -1,0 +1,145 @@
+package extract
+
+import (
+	"fmt"
+
+	"repro/internal/entity"
+)
+
+// AhoCorasick is a byte-level multi-pattern matcher used as the
+// alternative phone-matching strategy in the DESIGN.md ablation: instead
+// of regex-extracting candidates and hashing them against the database,
+// it searches the page for every known rendering of every database phone
+// in one pass.
+type AhoCorasick struct {
+	// nodes are the trie states; state 0 is the root.
+	next [][256]int32
+	fail []int32
+	out  [][]int32 // pattern indices terminating at each state
+	pats []string
+	vals []int // caller payload per pattern
+}
+
+// NewAhoCorasick builds the automaton from patterns with associated
+// payload values. It returns an error for empty input, empty patterns,
+// or mismatched lengths.
+func NewAhoCorasick(patterns []string, values []int) (*AhoCorasick, error) {
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("extract: AhoCorasick needs at least one pattern")
+	}
+	if len(patterns) != len(values) {
+		return nil, fmt.Errorf("extract: %d patterns vs %d values", len(patterns), len(values))
+	}
+	ac := &AhoCorasick{pats: patterns, vals: values}
+	ac.addState()
+	for pi, p := range patterns {
+		if p == "" {
+			return nil, fmt.Errorf("extract: pattern %d is empty", pi)
+		}
+		s := int32(0)
+		for i := 0; i < len(p); i++ {
+			c := p[i]
+			if ac.next[s][c] == 0 {
+				ac.next[s][c] = ac.addState()
+			}
+			s = ac.next[s][c]
+		}
+		ac.out[s] = append(ac.out[s], int32(pi))
+	}
+	ac.buildFailLinks()
+	return ac, nil
+}
+
+func (ac *AhoCorasick) addState() int32 {
+	ac.next = append(ac.next, [256]int32{})
+	ac.fail = append(ac.fail, 0)
+	ac.out = append(ac.out, nil)
+	return int32(len(ac.next) - 1)
+}
+
+// buildFailLinks runs the standard BFS converting the trie into an
+// automaton with goto-on-failure resolved into the transition table.
+func (ac *AhoCorasick) buildFailLinks() {
+	queue := make([]int32, 0, len(ac.next))
+	for c := 0; c < 256; c++ {
+		if s := ac.next[0][c]; s != 0 {
+			ac.fail[s] = 0
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for c := 0; c < 256; c++ {
+			v := ac.next[u][c]
+			if v == 0 {
+				// Path compression: inherit the failure transition.
+				ac.next[u][c] = ac.next[ac.fail[u]][c]
+				continue
+			}
+			ac.fail[v] = ac.next[ac.fail[u]][c]
+			ac.out[v] = append(ac.out[v], ac.out[ac.fail[v]]...)
+			queue = append(queue, v)
+		}
+	}
+}
+
+// Match is one automaton hit.
+type Match struct {
+	Value int // payload of the matched pattern
+	End   int // byte offset just past the match
+}
+
+// FindAll returns every pattern occurrence in text.
+func (ac *AhoCorasick) FindAll(text string) []Match {
+	var out []Match
+	s := int32(0)
+	for i := 0; i < len(text); i++ {
+		s = ac.next[s][text[i]]
+		for _, pi := range ac.out[s] {
+			out = append(out, Match{Value: ac.vals[pi], End: i + 1})
+		}
+	}
+	return out
+}
+
+// FindValues returns the distinct payload values occurring in text, in
+// first-appearance order.
+func (ac *AhoCorasick) FindValues(text string) []int {
+	var out []int
+	seen := make(map[int]struct{})
+	s := int32(0)
+	for i := 0; i < len(text); i++ {
+		s = ac.next[s][text[i]]
+		for _, pi := range ac.out[s] {
+			v := ac.vals[pi]
+			if _, dup := seen[v]; !dup {
+				seen[v] = struct{}{}
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// PhoneAutomaton builds an Aho–Corasick automaton over the four common
+// renderings of every phone in the database, with entity IDs as payloads.
+func PhoneAutomaton(db *entity.DB) (*AhoCorasick, error) {
+	var pats []string
+	var vals []int
+	for _, e := range db.Entities {
+		if e.Phone == "" {
+			continue
+		}
+		for _, s := range []string{
+			e.Phone.Format(), e.Phone.FormatDashed(), e.Phone.FormatDotted(), string(e.Phone),
+		} {
+			pats = append(pats, s)
+			vals = append(vals, e.ID)
+		}
+	}
+	if len(pats) == 0 {
+		return nil, fmt.Errorf("extract: database has no phones")
+	}
+	return NewAhoCorasick(pats, vals)
+}

@@ -1,0 +1,107 @@
+package extract
+
+import (
+	"fmt"
+
+	"repro/internal/classify"
+	"repro/internal/entity"
+	"repro/internal/htmlx"
+)
+
+// Mention records that a page mentions an entity via one attribute.
+type Mention struct {
+	EntityID int
+	Attr     entity.Attr
+}
+
+// Extractor extracts entity mentions from pages for one domain database.
+// The zero value is unusable; construct with New. An Extractor is safe
+// for concurrent use once built (the classifier is read-only at
+// extraction time).
+type Extractor struct {
+	db         *entity.DB
+	reviewClf  *classify.NaiveBayes // nil disables review detection
+	reviewAttr bool                 // whether the domain studies reviews
+}
+
+// New returns an Extractor for db. reviewClf may be nil when review
+// detection is not required for the domain (it is only used for
+// restaurants in the paper).
+func New(db *entity.DB, reviewClf *classify.NaiveBayes) (*Extractor, error) {
+	if db == nil {
+		return nil, fmt.Errorf("extract: nil entity database")
+	}
+	if reviewClf != nil && !reviewClf.Trained() {
+		return nil, fmt.Errorf("extract: review classifier is untrained")
+	}
+	hasReview := false
+	for _, a := range entity.AttrsFor(db.Domain) {
+		if a == entity.AttrReview {
+			hasReview = true
+		}
+	}
+	return &Extractor{db: db, reviewClf: reviewClf, reviewAttr: hasReview}, nil
+}
+
+// Page extracts all entity mentions from one HTML page. The extraction
+// mirrors §3.2:
+//
+//   - phone: regex over the rendered page text,
+//   - ISBN: digit runs with an "ISBN" marker in a window, over page text,
+//   - homepage: href values of anchor elements matched against the DB,
+//   - reviews: pages matching a restaurant phone are classified with
+//     Naïve Bayes; a positive page yields a review mention for every
+//     phone-matched entity on it.
+func (x *Extractor) Page(html []byte) []Mention {
+	doc := htmlx.Parse(html)
+	text := doc.Text()
+	var out []Mention
+
+	if x.db.Domain == entity.Books {
+		for _, id := range MatchISBNs(x.db, text) {
+			out = append(out, Mention{EntityID: id, Attr: entity.AttrISBN})
+		}
+		return out
+	}
+
+	phoneIDs := MatchPhones(x.db, text)
+	for _, id := range phoneIDs {
+		out = append(out, Mention{EntityID: id, Attr: entity.AttrPhone})
+	}
+
+	seenHome := make(map[int]struct{})
+	for _, href := range doc.Anchors() {
+		if id, ok := x.db.LookupHomepage(href); ok {
+			if _, dup := seenHome[id]; !dup {
+				seenHome[id] = struct{}{}
+				out = append(out, Mention{EntityID: id, Attr: entity.AttrHomepage})
+			}
+		}
+	}
+
+	if x.reviewAttr && x.reviewClf != nil && len(phoneIDs) > 0 {
+		if isReview, err := x.reviewClf.Classify(text); err == nil && isReview {
+			for _, id := range phoneIDs {
+				out = append(out, Mention{EntityID: id, Attr: entity.AttrReview})
+			}
+		}
+	}
+	return out
+}
+
+// TrainReviewClassifier builds a review classifier from labeled example
+// pages (HTML in, label = page is a review page). It is a convenience
+// used by the pipeline and examples.
+func TrainReviewClassifier(pages [][]byte, labels []bool) (*classify.NaiveBayes, error) {
+	if len(pages) != len(labels) {
+		return nil, fmt.Errorf("extract: %d pages vs %d labels", len(pages), len(labels))
+	}
+	nb := classify.NewNaiveBayes(1)
+	for i, p := range pages {
+		nb.Train(htmlx.Parse(p).Text(), labels[i])
+	}
+	if !nb.Trained() {
+		return nil, fmt.Errorf("extract: training data must include both classes")
+	}
+	return nb, nil
+}

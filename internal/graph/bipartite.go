@@ -1,0 +1,272 @@
+// Package graph implements the §5 connectivity analysis of the
+// entity–website bipartite graph: connected components and their sizes
+// (via union-find), exact graph diameter (via the iFUB algorithm, which
+// converges in a handful of BFS sweeps on small-world graphs), and the
+// robustness of the largest component when the top-k sites are removed
+// (Figure 9).
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/index"
+)
+
+// Bipartite is the entity–website graph for one (domain, attribute):
+// nodes 0..NumEntities-1 are entities, NumEntities..NumEntities+S-1 are
+// sites; an edge joins entity e and site s when s mentions e.
+type Bipartite struct {
+	NumEntities int
+	NumSites    int
+	// adj is the adjacency list over all nodes (entities then sites).
+	// Entities with no edges have empty lists and are excluded from the
+	// analysis denominators.
+	adj [][]int32
+	// siteOrder maps rank (0 = largest) to site node offsets, for
+	// robustness removal.
+	siteOrder []int
+	hosts     []string
+}
+
+// FromIndex builds the bipartite graph of an index. Site ordering
+// follows the index's size-descending order. The entity node space is
+// sized by the largest entity ID present (the index's NumEntities is a
+// coverage denominator and may be smaller, e.g. for the homepage
+// attribute whose universe is entities-with-homepage).
+func FromIndex(idx *index.Index) (*Bipartite, error) {
+	if idx.NumEntities <= 0 {
+		return nil, fmt.Errorf("graph: index has no entity universe")
+	}
+	numEntities := idx.NumEntities
+	for si := range idx.Sites {
+		for _, e := range idx.Sites[si].Entities {
+			if e < 0 {
+				return nil, fmt.Errorf("graph: negative entity id %d", e)
+			}
+			if e >= numEntities {
+				numEntities = e + 1
+			}
+		}
+	}
+	g := &Bipartite{
+		NumEntities: numEntities,
+		NumSites:    len(idx.Sites),
+		adj:         make([][]int32, numEntities+len(idx.Sites)),
+		siteOrder:   make([]int, len(idx.Sites)),
+		hosts:       make([]string, len(idx.Sites)),
+	}
+	for si := range idx.Sites {
+		node := numEntities + si
+		g.siteOrder[si] = node
+		g.hosts[si] = idx.Sites[si].Host
+		ents := idx.Sites[si].Entities
+		g.adj[node] = make([]int32, len(ents))
+		for j, e := range ents {
+			g.adj[node][j] = int32(e)
+			g.adj[e] = append(g.adj[e], int32(node))
+		}
+	}
+	return g, nil
+}
+
+// Host returns the host name of site rank r (0 = largest site).
+func (g *Bipartite) Host(r int) string { return g.hosts[r] }
+
+// NumNodes returns the total node count (entities + sites).
+func (g *Bipartite) NumNodes() int { return len(g.adj) }
+
+// Degree returns the degree of node v.
+func (g *Bipartite) Degree(v int) int { return len(g.adj[v]) }
+
+// AvgSitesPerEntity returns the mean entity degree over entities with
+// at least one edge (Table 2 column 1).
+func (g *Bipartite) AvgSitesPerEntity() float64 {
+	total, n := 0, 0
+	for e := 0; e < g.NumEntities; e++ {
+		if d := len(g.adj[e]); d > 0 {
+			total += d
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(total) / float64(n)
+}
+
+// Components summarizes the connected-component structure.
+type Components struct {
+	// Count is the number of components containing at least one entity.
+	Count int
+	// LargestEntities is the number of entities in the largest
+	// component (largest by entity count).
+	LargestEntities int
+	// TotalEntities is the number of entities with at least one edge.
+	TotalEntities int
+	// LargestID is the union-find root of the largest component.
+	LargestID int
+	roots     []int32
+}
+
+// FracEntitiesInLargest is Table 2's "% entities in largest comp"
+// (as a fraction of connected entities).
+func (c Components) FracEntitiesInLargest() float64 {
+	if c.TotalEntities == 0 {
+		return 0
+	}
+	return float64(c.LargestEntities) / float64(c.TotalEntities)
+}
+
+// InLargest reports whether node v is in the largest component.
+func (c Components) InLargest(v int) bool {
+	return c.roots != nil && int(c.roots[v]) == c.LargestID
+}
+
+// ComponentsExcluding computes connected components with the given site
+// ranks removed (nil removes nothing). Removal of rank r removes the
+// r-th largest site and all its edges.
+func (g *Bipartite) ComponentsExcluding(removedRanks []int) Components {
+	removed := make(map[int]bool, len(removedRanks))
+	for _, r := range removedRanks {
+		if r >= 0 && r < len(g.siteOrder) {
+			removed[g.siteOrder[r]] = true
+		}
+	}
+	uf := newUnionFind(len(g.adj))
+	for v := range g.adj {
+		if removed[v] {
+			continue
+		}
+		for _, u := range g.adj[v] {
+			if !removed[int(u)] {
+				uf.union(v, int(u))
+			}
+		}
+	}
+	// Tally entities per root.
+	perRoot := make(map[int]int)
+	total := 0
+	roots := make([]int32, len(g.adj))
+	for v := range g.adj {
+		roots[v] = int32(uf.find(v))
+	}
+	for e := 0; e < g.NumEntities; e++ {
+		connected := false
+		for _, s := range g.adj[e] {
+			if !removed[int(s)] {
+				connected = true
+				break
+			}
+		}
+		if !connected {
+			continue
+		}
+		total++
+		perRoot[int(roots[e])]++
+	}
+	out := Components{TotalEntities: total, roots: roots, LargestID: -1}
+	for root, n := range perRoot {
+		out.Count++
+		if n > out.LargestEntities || (n == out.LargestEntities && root < out.LargestID) {
+			out.LargestEntities = n
+			out.LargestID = root
+		}
+	}
+	return out
+}
+
+// AllComponents computes the component structure of the full graph.
+func (g *Bipartite) AllComponents() Components {
+	return g.ComponentsExcluding(nil)
+}
+
+// RobustnessCurve returns, for k = 0..maxK, the fraction of connected
+// entities that remain in the largest component after removing the top
+// k sites (Figure 9). The denominator is the entity count still
+// connected after removal, matching the paper's "fraction of structured
+// entities in the largest component".
+func (g *Bipartite) RobustnessCurve(maxK int) []float64 {
+	out := make([]float64, 0, maxK+1)
+	ranks := make([]int, 0, maxK)
+	for k := 0; k <= maxK; k++ {
+		c := g.ComponentsExcluding(ranks)
+		out = append(out, c.FracEntitiesInLargest())
+		ranks = append(ranks, k)
+	}
+	return out
+}
+
+// unionFind is a weighted quick-union with path halving.
+type unionFind struct {
+	parent []int32
+	size   []int32
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int32, n), size: make([]int32, n)}
+	for i := range uf.parent {
+		uf.parent[i] = int32(i)
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+func (uf *unionFind) find(v int) int {
+	for int(uf.parent[v]) != v {
+		uf.parent[v] = uf.parent[uf.parent[v]] // path halving
+		v = int(uf.parent[v])
+	}
+	return v
+}
+
+func (uf *unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	if uf.size[ra] < uf.size[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = int32(ra)
+	uf.size[ra] += uf.size[rb]
+}
+
+// Metrics bundles the Table 2 row for one (domain, attribute) graph.
+type Metrics struct {
+	AvgSitesPerEntity float64
+	Diameter          int
+	Components        int
+	FracLargest       float64
+}
+
+// ComputeMetrics produces the Table 2 row: average sites per entity,
+// exact diameter of the largest component, component count, and the
+// fraction of entities in the largest component.
+func (g *Bipartite) ComputeMetrics() Metrics {
+	c := g.AllComponents()
+	return Metrics{
+		AvgSitesPerEntity: g.AvgSitesPerEntity(),
+		Diameter:          g.DiameterLargest(c),
+		Components:        c.Count,
+		FracLargest:       c.FracEntitiesInLargest(),
+	}
+}
+
+// sortedByDegreeDesc returns the nodes of the largest component sorted
+// by descending degree (used to seed iFUB).
+func (g *Bipartite) sortedByDegreeDesc(c Components) []int {
+	var nodes []int
+	for v := range g.adj {
+		if len(g.adj[v]) > 0 && c.InLargest(v) {
+			nodes = append(nodes, v)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		if len(g.adj[nodes[i]]) != len(g.adj[nodes[j]]) {
+			return len(g.adj[nodes[i]]) > len(g.adj[nodes[j]])
+		}
+		return nodes[i] < nodes[j]
+	})
+	return nodes
+}

@@ -1,0 +1,138 @@
+package graph
+
+// Diameter computation. The paper computes exact diameters by running a
+// BFS from every node (§5.2); that is cubic-ish and fine on a grid but
+// not on a laptop. We implement iFUB (iterative Fringe Upper Bound,
+// Crescenzi et al.), which computes the EXACT diameter and typically
+// needs only a handful of BFS sweeps on small-world graphs like these.
+// A brute-force all-pairs variant is kept for testing and ablation.
+
+// bfs runs a breadth-first traversal from src, writing distances into
+// dist (which must be len(adj) and pre-filled with -1). It returns the
+// eccentricity of src within its component and the visited nodes.
+func bfs(adj [][]int32, src int, dist []int32, queue []int32) (ecc int, visited []int32) {
+	dist[src] = 0
+	queue = queue[:0]
+	queue = append(queue, int32(src))
+	head := 0
+	for head < len(queue) {
+		v := queue[head]
+		head++
+		dv := dist[v]
+		if int(dv) > ecc {
+			ecc = int(dv)
+		}
+		for _, u := range adj[v] {
+			if dist[u] < 0 {
+				dist[u] = dv + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return ecc, queue
+}
+
+// DiameterLargest returns the exact diameter of the largest connected
+// component (0 for an empty or single-node component). The Components
+// argument must come from AllComponents on the same graph.
+func (g *Bipartite) DiameterLargest(c Components) int {
+	nodes := g.sortedByDegreeDesc(c)
+	if len(nodes) == 0 {
+		return 0
+	}
+	return g.ifub(nodes[0])
+}
+
+// ifub runs the iFUB algorithm from the given start node (ideally a
+// high-degree node near the center of its component) and returns the
+// exact diameter of that node's component.
+func (g *Bipartite) ifub(start int) int {
+	n := len(g.adj)
+	dist := make([]int32, n)
+	scratch := make([]int32, n)
+	queue := make([]int32, 0, n)
+	reset := func(touched []int32) {
+		for _, v := range touched {
+			dist[v] = -1
+		}
+	}
+	for i := range dist {
+		dist[i] = -1
+	}
+
+	// Level the component from start.
+	eccStart, touched := bfs(g.adj, start, dist, queue)
+	if eccStart == 0 {
+		return 0
+	}
+	// Bucket nodes by BFS level.
+	levels := make([][]int32, eccStart+1)
+	for _, v := range touched {
+		levels[dist[v]] = append(levels[dist[v]], v)
+	}
+	copy(scratch, dist)
+	reset(touched)
+
+	lb := eccStart
+	// Process fringes from the deepest level inward. Invariant: any node
+	// at level i has eccentricity at most 2i (via start), so once
+	// 2*(i) <= lb the current lb is the exact diameter.
+	for i := eccStart; i > 0; i-- {
+		if 2*i <= lb {
+			return lb
+		}
+		for _, v := range levels[i] {
+			ecc, touched := bfs(g.adj, int(v), dist, queue)
+			if ecc > lb {
+				lb = ecc
+			}
+			reset(touched)
+			if 2*i <= lb {
+				// Upper bound for all remaining nodes (levels <= i) is
+				// 2i; lb has met it.
+				return lb
+			}
+		}
+	}
+	return lb
+}
+
+// DiameterBrute computes the diameter of the largest component by
+// running a BFS from every node in it — the paper's method, kept as the
+// correctness oracle for iFUB and as the ablation baseline.
+func (g *Bipartite) DiameterBrute(c Components) int {
+	n := len(g.adj)
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]int32, 0, n)
+	max := 0
+	for v := 0; v < n; v++ {
+		if len(g.adj[v]) == 0 || !c.InLargest(v) {
+			continue
+		}
+		ecc, touched := bfs(g.adj, v, dist, queue)
+		if ecc > max {
+			max = ecc
+		}
+		for _, u := range touched {
+			dist[u] = -1
+		}
+	}
+	return max
+}
+
+// Eccentricity returns the BFS eccentricity of node v within its
+// component, or -1 if v has no edges.
+func (g *Bipartite) Eccentricity(v int) int {
+	if v < 0 || v >= len(g.adj) || len(g.adj[v]) == 0 {
+		return -1
+	}
+	dist := make([]int32, len(g.adj))
+	for i := range dist {
+		dist[i] = -1
+	}
+	ecc, _ := bfs(g.adj, v, dist, nil)
+	return ecc
+}

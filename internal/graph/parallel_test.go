@@ -1,0 +1,62 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/entity"
+	"repro/internal/index"
+)
+
+func TestDiameterParallelMatchesBrute(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		rng := dist.NewRNG(seed)
+		b := index.NewBuilder(entity.Banks, entity.AttrPhone, 120)
+		for s := 0; s < 40; s++ {
+			host := hostN(s)
+			for j := 0; j < 1+rng.Intn(6); j++ {
+				b.Add(host, rng.Intn(120))
+			}
+		}
+		g, err := FromIndex(b.Build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := g.AllComponents()
+		brute := g.DiameterBrute(c)
+		for _, workers := range []int{0, 1, 3, 8} {
+			if got := g.DiameterParallel(c, workers); got != brute {
+				t.Errorf("seed %d workers %d: parallel %d != brute %d", seed, workers, got, brute)
+			}
+		}
+	}
+}
+
+func TestDiameterParallelEmpty(t *testing.T) {
+	g, err := FromIndex(&index.Index{NumEntities: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := g.DiameterParallel(g.AllComponents(), 4); d != 0 {
+		t.Errorf("empty graph parallel diameter = %d", d)
+	}
+}
+
+func TestDiameterParallelAgreesWithIFUB(t *testing.T) {
+	rng := dist.NewRNG(99)
+	b := index.NewBuilder(entity.Banks, entity.AttrPhone, 400)
+	for s := 0; s < 150; s++ {
+		host := hostN(s)
+		for j := 0; j < 1+rng.Intn(8); j++ {
+			b.Add(host, rng.Intn(400))
+		}
+	}
+	g, err := FromIndex(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := g.AllComponents()
+	if p, f := g.DiameterParallel(c, 4), g.DiameterLargest(c); p != f {
+		t.Errorf("parallel %d != iFUB %d", p, f)
+	}
+}

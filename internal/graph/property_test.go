@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dist"
+	"repro/internal/entity"
+	"repro/internal/index"
+)
+
+func randomGraph(seed uint64) *Bipartite {
+	rng := dist.NewRNG(seed)
+	n := 20 + rng.Intn(100)
+	sites := 5 + rng.Intn(35)
+	b := index.NewBuilder(entity.Banks, entity.AttrPhone, n)
+	for s := 0; s < sites; s++ {
+		host := hostN(s)
+		for j := 0; j < 1+rng.Intn(8); j++ {
+			b.Add(host, rng.Intn(n))
+		}
+	}
+	g, err := FromIndex(b.Build())
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// TestPropertyRobustnessCurveInRange: every robustness value is a valid
+// fraction and k=0 equals the full-graph largest share.
+func TestPropertyRobustnessCurveInRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomGraph(seed)
+		curve := g.RobustnessCurve(5)
+		if len(curve) != 6 {
+			return false
+		}
+		full := g.AllComponents().FracEntitiesInLargest()
+		if curve[0] != full {
+			return false
+		}
+		for _, v := range curve {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyRemovalShrinksConnectedSet: removing sites never grows
+// the set of connected entities.
+func TestPropertyRemovalShrinksConnectedSet(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomGraph(seed)
+		prev := g.ComponentsExcluding(nil).TotalEntities
+		ranks := []int{}
+		for k := 0; k < 5; k++ {
+			ranks = append(ranks, k)
+			cur := g.ComponentsExcluding(ranks).TotalEntities
+			if cur > prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyComponentEntitiesSumToTotal: entity counts across
+// components partition the connected entities.
+func TestPropertyComponentEntitiesSumToTotal(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomGraph(seed)
+		c := g.AllComponents()
+		// Largest component never exceeds the total.
+		if c.LargestEntities > c.TotalEntities {
+			return false
+		}
+		// Count components implies at least one entity each.
+		return c.Count <= c.TotalEntities
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyDiameterAtLeastAnyEccentricity: the diameter is the max
+// eccentricity, so any sampled node's eccentricity bounds it below.
+func TestPropertyDiameterAtLeastAnyEccentricity(t *testing.T) {
+	f := func(seed uint64, probe uint8) bool {
+		g := randomGraph(seed)
+		c := g.AllComponents()
+		d := g.DiameterLargest(c)
+		v := int(probe) % g.NumNodes()
+		if len(g.adj[v]) == 0 || !c.InLargest(v) {
+			return true
+		}
+		return g.Eccentricity(v) <= d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

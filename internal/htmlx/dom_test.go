@@ -1,0 +1,160 @@
+package htmlx
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const samplePage = `<!DOCTYPE html>
+<html>
+<head><title>Golden Kitchen - Springfield</title>
+<style>body { color: red; }</style></head>
+<body>
+<h1>Golden Kitchen</h1>
+<p>Call us at <b>(415) 555-1234</b> or visit
+<a href="http://www.goldenkitchen1.example.com/">our homepage</a>.</p>
+<div class="listing">
+  <a href="/menu">Menu</a>
+  <a href="">empty</a>
+  <a>no href</a>
+</div>
+<script>trackVisit("<a href='http://fake.example.com/'>");</script>
+</body>
+</html>`
+
+func TestParseAndText(t *testing.T) {
+	doc := Parse([]byte(samplePage))
+	text := doc.Text()
+	if !strings.Contains(text, "Golden Kitchen") {
+		t.Error("text missing heading")
+	}
+	if !strings.Contains(text, "(415) 555-1234") {
+		t.Error("text missing phone")
+	}
+	if strings.Contains(text, "color: red") {
+		t.Error("style content leaked into text")
+	}
+	if strings.Contains(text, "trackVisit") {
+		t.Error("script content leaked into text")
+	}
+	if strings.Contains(text, "  ") {
+		t.Error("whitespace not collapsed")
+	}
+}
+
+func TestAnchors(t *testing.T) {
+	doc := Parse([]byte(samplePage))
+	hrefs := doc.Anchors()
+	want := []string{"http://www.goldenkitchen1.example.com/", "/menu"}
+	if !reflect.DeepEqual(hrefs, want) {
+		t.Errorf("Anchors = %v, want %v", hrefs, want)
+	}
+}
+
+func TestAnchorInsideScriptIgnored(t *testing.T) {
+	doc := Parse([]byte(samplePage))
+	for _, h := range doc.Anchors() {
+		if strings.Contains(h, "fake.example.com") {
+			t.Error("anchor inside script extracted")
+		}
+	}
+}
+
+func TestFind(t *testing.T) {
+	doc := Parse([]byte(samplePage))
+	// Four <a> elements are real markup; the one inside <script> is raw
+	// text and must not be counted.
+	if as := doc.Find("a"); len(as) != 4 {
+		t.Errorf("Find(a) = %d nodes, want 4", len(as))
+	}
+	h1 := doc.FindFirst("h1")
+	if h1 == nil || h1.Text() != "Golden Kitchen" {
+		t.Errorf("FindFirst(h1) = %v", h1)
+	}
+	if doc.FindFirst("table") != nil {
+		t.Error("FindFirst on absent tag should be nil")
+	}
+}
+
+func TestFindFirstIsDocumentOrder(t *testing.T) {
+	doc := Parse([]byte(`<div id="a"><div id="b"></div></div><div id="c"></div>`))
+	first := doc.FindFirst("div")
+	if id, _ := first.Attr("id"); id != "a" {
+		t.Errorf("FindFirst returned div#%s, want a", id)
+	}
+	all := doc.Find("div")
+	ids := make([]string, len(all))
+	for i, d := range all {
+		ids[i], _ = d.Attr("id")
+	}
+	if !reflect.DeepEqual(ids, []string{"a", "b", "c"}) {
+		t.Errorf("Find order = %v", ids)
+	}
+}
+
+func TestAttrValues(t *testing.T) {
+	doc := Parse([]byte(`<img src="1.png"><img src="2.png"><img alt="no src">`))
+	got := doc.AttrValues("img", "src")
+	if !reflect.DeepEqual(got, []string{"1.png", "2.png"}) {
+		t.Errorf("AttrValues = %v", got)
+	}
+}
+
+func TestParseRecoversFromMisnesting(t *testing.T) {
+	doc := Parse([]byte(`<b><i>bold-italic</b>just-italic</i><p>after`))
+	if text := doc.Text(); !strings.Contains(text, "after") {
+		t.Errorf("content after misnesting lost: %q", text)
+	}
+}
+
+func TestParseIgnoresUnmatchedEndTags(t *testing.T) {
+	doc := Parse([]byte(`</div></p>hello<span>world</span>`))
+	if text := doc.Text(); text != "hello world" {
+		t.Errorf("Text = %q", text)
+	}
+}
+
+func TestParentLinks(t *testing.T) {
+	doc := Parse([]byte(`<div><p>x</p></div>`))
+	p := doc.FindFirst("p")
+	if p.Parent == nil || p.Parent.Data != "div" {
+		t.Error("parent link broken")
+	}
+	if p.Parent.Parent != doc {
+		t.Error("grandparent should be document")
+	}
+}
+
+func TestTextEntityDecoding(t *testing.T) {
+	doc := Parse([]byte(`<p>Tom &amp; Jerry &#8212; friends</p>`))
+	if text := doc.Text(); text != "Tom & Jerry — friends" {
+		t.Errorf("Text = %q", text)
+	}
+}
+
+func TestParseNeverPanicsQuick(t *testing.T) {
+	f := func(raw []byte) bool {
+		doc := Parse(raw)
+		_ = doc.Text()
+		_ = doc.Anchors()
+		return doc.Type == DocumentNode
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEscapedContentRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		page := "<p>" + EscapeText(s) + "</p>"
+		doc := Parse([]byte(page))
+		// Whitespace collapses, so compare field-joined forms.
+		want := strings.Join(strings.Fields(s), " ")
+		return doc.Text() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,103 @@
+package htmlx
+
+import (
+	"strconv"
+	"strings"
+	"unicode/utf8"
+)
+
+// namedEntities covers the character references that appear in practice
+// on directory-style pages; unknown references pass through verbatim.
+var namedEntities = map[string]rune{
+	"amp": '&', "lt": '<', "gt": '>', "quot": '"', "apos": '\'',
+	"nbsp": '\x20', "copy": '©', "reg": '®', "trade": '™',
+	"mdash": '—', "ndash": '–', "hellip": '…', "middot": '·',
+	"laquo": '«', "raquo": '»', "ldquo": '“', "rdquo": '”',
+	"lsquo": '‘', "rsquo": '’', "bull": '•', "deg": '°',
+	"frac12": '½', "times": '×', "divide": '÷', "eacute": 'é',
+	"egrave": 'è', "agrave": 'à', "ccedil": 'ç', "uuml": 'ü',
+	"ouml": 'ö', "auml": 'ä', "ntilde": 'ñ', "szlig": 'ß',
+}
+
+// DecodeEntities replaces HTML character references in s with their
+// literal characters. Numeric references (&#123; and &#x1F;) and the
+// common named references are decoded; malformed or unknown references
+// are left untouched. The function allocates only when s contains '&'.
+func DecodeEntities(s string) string {
+	amp := strings.IndexByte(s, '&')
+	if amp < 0 {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	b.WriteString(s[:amp])
+	i := amp
+	for i < len(s) {
+		c := s[i]
+		if c != '&' {
+			b.WriteByte(c)
+			i++
+			continue
+		}
+		r, width, ok := decodeOneEntity(s[i:])
+		if !ok {
+			b.WriteByte('&')
+			i++
+			continue
+		}
+		b.WriteRune(r)
+		i += width
+	}
+	return b.String()
+}
+
+// decodeOneEntity decodes a reference at the start of s (which begins
+// with '&'). It returns the rune, the number of bytes consumed, and
+// whether decoding succeeded.
+func decodeOneEntity(s string) (rune, int, bool) {
+	if len(s) < 3 { // shortest is &x;
+		return 0, 0, false
+	}
+	end := strings.IndexByte(s[:min(len(s), 32)], ';')
+	if end < 2 {
+		return 0, 0, false
+	}
+	body := s[1:end]
+	if body[0] == '#' {
+		num := body[1:]
+		base := 10
+		if len(num) > 1 && (num[0] == 'x' || num[0] == 'X') {
+			base = 16
+			num = num[1:]
+		}
+		v, err := strconv.ParseInt(num, base, 32)
+		if err != nil || v <= 0 || v > utf8.MaxRune {
+			return 0, 0, false
+		}
+		return rune(v), end + 1, true
+	}
+	if r, ok := namedEntities[body]; ok {
+		return r, end + 1, true
+	}
+	return 0, 0, false
+}
+
+// EscapeText escapes the five significant HTML characters in s for safe
+// embedding as element text or attribute values. The synthetic web
+// renderer uses it so generated pages round-trip through the tokenizer.
+func EscapeText(s string) string {
+	if !strings.ContainsAny(s, `&<>"'`) {
+		return s
+	}
+	r := strings.NewReplacer(
+		"&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "'", "&#39;",
+	)
+	return r.Replace(s)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,32 @@
+package htmlx_test
+
+import (
+	"fmt"
+
+	"repro/internal/htmlx"
+)
+
+// ExampleParse shows the extraction pipeline's per-page workflow: parse
+// dirty HTML, read the visible text, and harvest anchor hrefs.
+func ExampleParse() {
+	page := []byte(`<html><body>
+	<h1>Golden Kitchen</h1>
+	<p>Call (415) 555-1234 &amp; visit</p>
+	<a href="http://www.goldenkitchen.example.com/">our site</a>
+	<script>ignore("<a href='http://fake.example.com'>");</script>
+	</body></html>`)
+
+	doc := htmlx.Parse(page)
+	fmt.Println(doc.Text())
+	fmt.Println(doc.Anchors())
+	// Output:
+	// Golden Kitchen Call (415) 555-1234 & visit our site
+	// [http://www.goldenkitchen.example.com/]
+}
+
+// ExampleDecodeEntities decodes numeric and named character references.
+func ExampleDecodeEntities() {
+	fmt.Println(htmlx.DecodeEntities("Tom &amp; Jerry &#8212; caf&eacute;"))
+	// Output:
+	// Tom & Jerry — café
+}

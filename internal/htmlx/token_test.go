@@ -1,0 +1,187 @@
+package htmlx
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func collect(t *testing.T, src string) []Token {
+	t.Helper()
+	z := NewTokenizer([]byte(src))
+	var out []Token
+	for {
+		tok, ok := z.Next()
+		if !ok {
+			break
+		}
+		out = append(out, tok)
+	}
+	return out
+}
+
+func TestTokenizeSimple(t *testing.T) {
+	toks := collect(t, `<p>Hello</p>`)
+	if len(toks) != 3 {
+		t.Fatalf("got %d tokens: %+v", len(toks), toks)
+	}
+	if toks[0].Type != StartTagToken || toks[0].Data != "p" {
+		t.Errorf("tok0 = %+v", toks[0])
+	}
+	if toks[1].Type != TextToken || toks[1].Data != "Hello" {
+		t.Errorf("tok1 = %+v", toks[1])
+	}
+	if toks[2].Type != EndTagToken || toks[2].Data != "p" {
+		t.Errorf("tok2 = %+v", toks[2])
+	}
+}
+
+func TestTokenizeAttributes(t *testing.T) {
+	toks := collect(t, `<a href="http://x.com/p?a=1&amp;b=2" class='big' disabled data-x=42>`)
+	if len(toks) != 1 {
+		t.Fatalf("got %d tokens", len(toks))
+	}
+	tok := toks[0]
+	if href, _ := tok.Attr("href"); href != "http://x.com/p?a=1&b=2" {
+		t.Errorf("href = %q", href)
+	}
+	if cls, _ := tok.Attr("class"); cls != "big" {
+		t.Errorf("class = %q", cls)
+	}
+	if _, ok := tok.Attr("disabled"); !ok {
+		t.Error("boolean attribute missing")
+	}
+	if dx, _ := tok.Attr("data-x"); dx != "42" {
+		t.Errorf("data-x = %q", dx)
+	}
+	if _, ok := tok.Attr("nope"); ok {
+		t.Error("absent attribute should not resolve")
+	}
+}
+
+func TestTokenizeCaseInsensitiveTags(t *testing.T) {
+	toks := collect(t, `<DIV CLASS="x">a</DIV>`)
+	if toks[0].Data != "div" {
+		t.Errorf("tag = %q, want div", toks[0].Data)
+	}
+	if v, ok := toks[0].Attr("class"); !ok || v != "x" {
+		t.Errorf("attr keys should lower-case, got %+v", toks[0].Attrs)
+	}
+	if toks[2].Data != "div" {
+		t.Errorf("end tag = %q", toks[2].Data)
+	}
+}
+
+func TestTokenizeSelfClosingAndVoid(t *testing.T) {
+	toks := collect(t, `<br><img src="x.png"/><hr />`)
+	for i, tok := range toks {
+		if tok.Type != SelfClosingToken {
+			t.Errorf("tok %d type = %v, want SelfClosing", i, tok.Type)
+		}
+	}
+	if len(toks) != 3 {
+		t.Fatalf("got %d tokens", len(toks))
+	}
+	if src, _ := toks[1].Attr("src"); src != "x.png" {
+		t.Errorf("img src = %q", src)
+	}
+}
+
+func TestTokenizeComment(t *testing.T) {
+	toks := collect(t, `a<!-- hidden <b> -->z`)
+	if len(toks) != 3 {
+		t.Fatalf("got %d tokens: %+v", len(toks), toks)
+	}
+	if toks[1].Type != CommentToken || toks[1].Data != " hidden <b> " {
+		t.Errorf("comment = %+v", toks[1])
+	}
+}
+
+func TestTokenizeDoctype(t *testing.T) {
+	toks := collect(t, `<!DOCTYPE html><html></html>`)
+	if toks[0].Type != DoctypeToken || toks[0].Data != "DOCTYPE html" {
+		t.Errorf("doctype = %+v", toks[0])
+	}
+}
+
+func TestTokenizeScriptRawText(t *testing.T) {
+	toks := collect(t, `<script>if (a < b) { x = "</div>"; }</script><p>after</p>`)
+	if toks[0].Type != StartTagToken || toks[0].Data != "script" {
+		t.Fatalf("tok0 = %+v", toks[0])
+	}
+	if toks[1].Type != TextToken || !strings.Contains(toks[1].Data, "a < b") {
+		t.Fatalf("script body not raw: %+v", toks[1])
+	}
+	// Note: "</div>" inside a string does terminate raw mode only for
+	// </script; the </div> string must NOT have ended the script.
+	if !strings.Contains(toks[1].Data, `</div>`) {
+		t.Errorf("script body truncated at inner </div>: %q", toks[1].Data)
+	}
+	if toks[2].Type != EndTagToken || toks[2].Data != "script" {
+		t.Errorf("tok2 = %+v", toks[2])
+	}
+}
+
+func TestTokenizeUnterminatedScript(t *testing.T) {
+	toks := collect(t, `<script>var x = 1;`)
+	if len(toks) != 2 {
+		t.Fatalf("got %d tokens", len(toks))
+	}
+	if toks[1].Data != "var x = 1;" {
+		t.Errorf("body = %q", toks[1].Data)
+	}
+}
+
+func TestTokenizeMalformed(t *testing.T) {
+	// Garbage must still tokenize to something without panicking or
+	// looping, and stray '<' becomes text.
+	cases := []string{
+		"a < b", "<", "<>", "< div>", "<a href=>", "<a href", "<p", "</",
+		"<!--", "<!doctype", "<a ='x'>", "text<a b=c", "<<<", "<a 'loose'>",
+	}
+	for _, src := range cases {
+		toks := collect(t, src)
+		if len(toks) == 0 && len(src) > 0 {
+			t.Errorf("no tokens for %q", src)
+		}
+	}
+}
+
+func TestTokenizeProgressQuick(t *testing.T) {
+	// The tokenizer must always terminate and consume all input.
+	f := func(raw []byte) bool {
+		z := NewTokenizer(raw)
+		for i := 0; ; i++ {
+			if i > len(raw)*2+16 {
+				return false // suspiciously many tokens: likely stuck
+			}
+			if _, ok := z.Next(); !ok {
+				return true
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenTypeString(t *testing.T) {
+	names := map[TokenType]string{
+		TextToken: "Text", StartTagToken: "StartTag", EndTagToken: "EndTag",
+		SelfClosingToken: "SelfClosing", CommentToken: "Comment",
+		DoctypeToken: "Doctype", TokenType(99): "Unknown",
+	}
+	for tt, want := range names {
+		if got := tt.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", tt, got, want)
+		}
+	}
+}
+
+func TestEndTagWithAttributes(t *testing.T) {
+	toks := collect(t, `<p>x</p class="junk">`)
+	last := toks[len(toks)-1]
+	if last.Type != EndTagToken || last.Data != "p" {
+		t.Errorf("end tag with attrs: %+v", last)
+	}
+}

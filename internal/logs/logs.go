@@ -1,0 +1,182 @@
+// Package logs models the study's demand data (§4.1): click logs from
+// search (Yahoo! Search clicks) and browse (Yahoo! Toolbar) traffic,
+// keyed by anonymized cookies, and the URL-pattern parsers that map a
+// clicked URL to a structured entity on Amazon, Yelp or IMDb.
+package logs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Source labels which traffic stream a click came from.
+type Source string
+
+// Traffic sources (§4.1).
+const (
+	Search Source = "search"
+	Browse Source = "browse"
+)
+
+// Valid reports whether s is a known source.
+func (s Source) Valid() bool { return s == Search || s == Browse }
+
+// Site labels the three review-rich sites studied in §4.
+type Site string
+
+// Studied sites.
+const (
+	Amazon Site = "amazon"
+	Yelp   Site = "yelp"
+	IMDb   Site = "imdb"
+)
+
+// Sites lists the three sites in the paper's presentation order.
+var Sites = []Site{Yelp, Amazon, IMDb}
+
+// Valid reports whether s is a known site.
+func (s Site) Valid() bool { return s == Amazon || s == Yelp || s == IMDb }
+
+// Click is one logged visit: a cookie clicked a URL on some day.
+type Click struct {
+	Source Source
+	Cookie uint64
+	Day    int // 0-based day within the log year
+	URL    string
+}
+
+// Entity URL patterns (§4.1): amazon.com/gp/product/[ID] or
+// amazon.com/*/dp/[ID]; yelp.com/biz/[ID]; imdb.com/title/tt[ID].
+var (
+	amazonGpRe  = regexp.MustCompile(`/gp/product/([A-Z0-9]{10})(?:[/?#]|$)`)
+	amazonDpRe  = regexp.MustCompile(`/dp/([A-Z0-9]{10})(?:[/?#]|$)`)
+	yelpBizRe   = regexp.MustCompile(`/biz/([a-z0-9-]+?)(?:[/?#]|$)`)
+	imdbTitleRe = regexp.MustCompile(`/title/(tt[0-9]{7,8})(?:[/?#]|$)`)
+)
+
+// ParseEntityURL maps a URL to (site, entity key). ok is false when the
+// URL is not an entity page on any of the three sites.
+func ParseEntityURL(url string) (Site, string, bool) {
+	host := hostOf(url)
+	switch {
+	case strings.Contains(host, "amazon"):
+		if m := amazonGpRe.FindStringSubmatch(url); m != nil {
+			return Amazon, m[1], true
+		}
+		if m := amazonDpRe.FindStringSubmatch(url); m != nil {
+			return Amazon, m[1], true
+		}
+	case strings.Contains(host, "yelp"):
+		if m := yelpBizRe.FindStringSubmatch(url); m != nil {
+			return Yelp, m[1], true
+		}
+	case strings.Contains(host, "imdb"):
+		if m := imdbTitleRe.FindStringSubmatch(url); m != nil {
+			return IMDb, m[1], true
+		}
+	}
+	return "", "", false
+}
+
+func hostOf(url string) string {
+	s := url
+	if i := strings.Index(s, "://"); i >= 0 {
+		s = s[i+3:]
+	}
+	if i := strings.IndexAny(s, "/?#"); i >= 0 {
+		s = s[:i]
+	}
+	return strings.ToLower(s)
+}
+
+// EntityURL renders the canonical entity URL for a site and key, the
+// inverse of ParseEntityURL for simulator-produced keys.
+func EntityURL(site Site, key string) (string, error) {
+	switch site {
+	case Amazon:
+		return "http://www.amazon.example.com/gp/product/" + key, nil
+	case Yelp:
+		return "http://www.yelp.example.com/biz/" + key, nil
+	case IMDb:
+		return "http://www.imdb.example.com/title/" + key + "/", nil
+	default:
+		return "", fmt.Errorf("logs: unknown site %q", site)
+	}
+}
+
+// Writer emits clicks as tab-separated lines
+// (source, cookie, day, url).
+type Writer struct {
+	bw *bufio.Writer
+}
+
+// NewWriter returns a click-log writer on w.
+func NewWriter(w io.Writer) *Writer { return &Writer{bw: bufio.NewWriterSize(w, 1<<16)} }
+
+// Write appends one click.
+func (w *Writer) Write(c Click) error {
+	if !c.Source.Valid() {
+		return fmt.Errorf("logs: invalid source %q", c.Source)
+	}
+	if _, err := fmt.Fprintf(w.bw, "%s\t%d\t%d\t%s\n", c.Source, c.Cookie, c.Day, c.URL); err != nil {
+		return fmt.Errorf("logs: write click: %w", err)
+	}
+	return nil
+}
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error {
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("logs: flush: %w", err)
+	}
+	return nil
+}
+
+// Reader parses a click log written by Writer.
+type Reader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewReader returns a click-log reader on r.
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	return &Reader{sc: sc}
+}
+
+// Next returns the next click, or io.EOF at end of input.
+func (r *Reader) Next() (Click, error) {
+	for r.sc.Scan() {
+		r.line++
+		line := r.sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 4)
+		if len(parts) != 4 {
+			return Click{}, fmt.Errorf("logs: line %d has %d fields", r.line, len(parts))
+		}
+		src := Source(parts[0])
+		if !src.Valid() {
+			return Click{}, fmt.Errorf("logs: line %d bad source %q", r.line, parts[0])
+		}
+		cookie, err := strconv.ParseUint(parts[1], 10, 64)
+		if err != nil {
+			return Click{}, fmt.Errorf("logs: line %d cookie: %w", r.line, err)
+		}
+		day, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return Click{}, fmt.Errorf("logs: line %d day: %w", r.line, err)
+		}
+		return Click{Source: src, Cookie: cookie, Day: day, URL: parts[3]}, nil
+	}
+	if err := r.sc.Err(); err != nil {
+		return Click{}, fmt.Errorf("logs: scan: %w", err)
+	}
+	return Click{}, io.EOF
+}

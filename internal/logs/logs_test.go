@@ -1,0 +1,151 @@
+package logs
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestParseEntityURL(t *testing.T) {
+	cases := []struct {
+		url  string
+		site Site
+		key  string
+		ok   bool
+	}{
+		{"http://www.amazon.example.com/gp/product/B00A1B2C3D", Amazon, "B00A1B2C3D", true},
+		{"http://www.amazon.example.com/Widget-Pro/dp/B00A1B2C3D", Amazon, "B00A1B2C3D", true},
+		{"http://www.amazon.example.com/gp/product/B00A1B2C3D?ref=sr_1", Amazon, "B00A1B2C3D", true},
+		{"https://amazon.com/Some-Thing/dp/0306406152/ref=x", Amazon, "0306406152", true},
+		{"http://www.yelp.example.com/biz/golden-kitchen-springfield-3", Yelp, "golden-kitchen-springfield-3", true},
+		{"http://yelp.com/biz/cafe-x?osq=food", Yelp, "cafe-x", true},
+		{"http://www.imdb.example.com/title/tt0111161/", IMDb, "tt0111161", true},
+		{"http://imdb.com/title/tt01111612", IMDb, "tt01111612", true},
+		{"http://www.amazon.example.com/gp/help/customer", "", "", false},
+		{"http://www.yelp.example.com/events/some-event", "", "", false},
+		{"http://www.imdb.example.com/name/nm0000151/", "", "", false},
+		{"http://unrelated.example.com/biz/x", "", "", false},
+		{"not a url at all", "", "", false},
+	}
+	for _, c := range cases {
+		site, key, ok := ParseEntityURL(c.url)
+		if site != c.site || key != c.key || ok != c.ok {
+			t.Errorf("ParseEntityURL(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				c.url, site, key, ok, c.site, c.key, c.ok)
+		}
+	}
+}
+
+func TestEntityURLRoundTrip(t *testing.T) {
+	cases := []struct {
+		site Site
+		key  string
+	}{
+		{Amazon, "B00A1B2C3D"},
+		{Yelp, "biz-slug-42"},
+		{IMDb, "tt0000043"},
+	}
+	for _, c := range cases {
+		url, err := EntityURL(c.site, c.key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		site, key, ok := ParseEntityURL(url)
+		if !ok || site != c.site || key != c.key {
+			t.Errorf("round trip %v/%v -> %q -> (%v, %v, %v)", c.site, c.key, url, site, key, ok)
+		}
+	}
+	if _, err := EntityURL("ebay", "x"); err == nil {
+		t.Error("unknown site should fail")
+	}
+}
+
+func TestSourceAndSiteValidity(t *testing.T) {
+	if !Search.Valid() || !Browse.Valid() || Source("other").Valid() {
+		t.Error("Source.Valid broken")
+	}
+	if !Amazon.Valid() || !Yelp.Valid() || !IMDb.Valid() || Site("ebay").Valid() {
+		t.Error("Site.Valid broken")
+	}
+	if len(Sites) != 3 {
+		t.Error("Sites should list 3 sites")
+	}
+}
+
+func TestClickLogRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	clicks := []Click{
+		{Source: Search, Cookie: 42, Day: 100, URL: "http://yelp.com/biz/a"},
+		{Source: Browse, Cookie: 7, Day: 0, URL: "http://imdb.com/title/tt0000001/"},
+		{Source: Search, Cookie: 1 << 60, Day: 364, URL: "http://amazon.com/gp/product/B000000001"},
+	}
+	for _, c := range clicks {
+		if err := w.Write(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	for i, want := range clicks {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("click %d: %v", i, err)
+		}
+		if got != want {
+			t.Errorf("click %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestWriterRejectsBadSource(t *testing.T) {
+	w := NewWriter(&bytes.Buffer{})
+	if err := w.Write(Click{Source: "bogus"}); err == nil {
+		t.Error("invalid source should fail")
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	cases := []string{
+		"too\tfew\n",
+		"bogus\t1\t2\thttp://x\n",
+		"search\tNaN\t2\thttp://x\n",
+		"search\t1\tNaN\thttp://x\n",
+	}
+	for _, c := range cases {
+		r := NewReader(strings.NewReader(c))
+		if _, err := r.Next(); err == nil || err == io.EOF {
+			t.Errorf("input %q should fail, got %v", c, err)
+		}
+	}
+}
+
+func TestReaderSkipsBlankLines(t *testing.T) {
+	r := NewReader(strings.NewReader("\n\nsearch\t1\t2\thttp://x\n\n"))
+	c, err := r.Next()
+	if err != nil || c.Cookie != 1 {
+		t.Errorf("blank lines should skip: %+v %v", c, err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("want EOF, got %v", err)
+	}
+}
+
+func TestURLWithTabRejectedGracefully(t *testing.T) {
+	// URLs never contain raw tabs in our pipeline; SplitN(4) keeps any
+	// tail tabs inside the URL field rather than corrupting parsing.
+	r := NewReader(strings.NewReader("search\t1\t2\thttp://x/a\tb\n"))
+	c, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.URL != "http://x/a\tb" {
+		t.Errorf("URL = %q", c.URL)
+	}
+}

@@ -1,0 +1,379 @@
+// Package report renders Study experiment results into files (gnuplot
+// TSV blocks, text tables) and terminal ASCII previews. It is the layer
+// cmd/analyze and cmd/webrepro share.
+package report
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/coverage"
+	"repro/internal/entity"
+	"repro/internal/plot"
+)
+
+// Experiments lists the runnable experiment IDs in paper order.
+var Experiments = []string{
+	"table1", "fig1", "fig2", "fig3", "fig4", "fig5",
+	"fig6", "fig7", "fig8", "table2", "fig9",
+}
+
+// Valid reports whether id names a known experiment.
+func Valid(id string) bool {
+	for _, e := range Experiments {
+		if e == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes one experiment, writes its data files under outDir, and
+// prints a human-readable summary (with ASCII previews) to w.
+func Run(s *core.Study, id, outDir string, w io.Writer) error {
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return fmt.Errorf("report: create %s: %w", outDir, err)
+		}
+	}
+	switch id {
+	case "table1":
+		return table1(s, outDir, w)
+	case "fig1":
+		return spreadFigure(s, outDir, w, "fig1", entity.AttrPhone)
+	case "fig2":
+		return spreadFigure(s, outDir, w, "fig2", entity.AttrHomepage)
+	case "fig3":
+		return fig3(s, outDir, w)
+	case "fig4":
+		return fig4(s, outDir, w)
+	case "fig5":
+		return fig5(s, outDir, w)
+	case "fig6":
+		return fig6(s, outDir, w)
+	case "fig7":
+		return fig78(s, outDir, w, true)
+	case "fig8":
+		return fig78(s, outDir, w, false)
+	case "table2":
+		return table2(s, outDir, w)
+	case "fig9":
+		return fig9(s, outDir, w)
+	default:
+		return fmt.Errorf("report: unknown experiment %q (known: %s)", id, strings.Join(Experiments, ", "))
+	}
+}
+
+// RunAll executes every experiment in paper order.
+func RunAll(s *core.Study, outDir string, w io.Writer) error {
+	for _, id := range Experiments {
+		if err := Run(s, id, outDir, w); err != nil {
+			return fmt.Errorf("report: experiment %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// writeFile writes one data file under outDir (skipped when outDir is
+// empty).
+func writeFile(outDir, name string, write func(io.Writer) error) error {
+	if outDir == "" {
+		return nil
+	}
+	path := filepath.Join(outDir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("report: create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		return fmt.Errorf("report: write %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+func table1(s *core.Study, outDir string, w io.Writer) error {
+	rows := s.Table1()
+	render := func(out io.Writer) error {
+		fmt.Fprintf(out, "%-20s %s\n", "Domain", "Attributes")
+		for _, r := range rows {
+			attrs := make([]string, len(r.Attrs))
+			for i, a := range r.Attrs {
+				attrs[i] = string(a)
+			}
+			fmt.Fprintf(out, "%-20s %s\n", r.Domain.Title(), strings.Join(attrs, ", "))
+		}
+		return nil
+	}
+	fmt.Fprintln(w, "== Table 1: List of Domains ==")
+	if err := render(w); err != nil {
+		return err
+	}
+	return writeFile(outDir, "table1.txt", render)
+}
+
+// curvesToSeries converts k-coverage curves into plot series.
+func curvesToSeries(curves []coverage.Curve) []plot.Series {
+	out := make([]plot.Series, 0, len(curves))
+	for _, c := range curves {
+		x := make([]float64, len(c.T))
+		for i, t := range c.T {
+			x[i] = float64(t)
+		}
+		out = append(out, plot.Series{Name: fmt.Sprintf("k=%d", c.K), X: x, Y: c.Coverage})
+	}
+	return out
+}
+
+func spreadFigure(s *core.Study, outDir string, w io.Writer, figID string, attr entity.Attr) error {
+	var results []*core.SpreadResult
+	var err error
+	if figID == "fig1" {
+		results, err = s.Fig1()
+	} else {
+		results, err = s.Fig2()
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "== %s: Spread of %s Attribute ==\n", strings.ToUpper(figID[:1])+figID[1:], attr)
+	for _, r := range results {
+		series := curvesToSeries(r.Curves)
+		name := fmt.Sprintf("%s_%s_%s.tsv", figID, r.Domain, attr)
+		if err := writeFile(outDir, name, func(out io.Writer) error {
+			return plot.WriteTSV(out, series...)
+		}); err != nil {
+			return err
+		}
+		// Preview only k=1 and k=5 to keep terminal output readable.
+		preview := []plot.Series{series[0], series[4]}
+		fmt.Fprintln(w, plot.ASCII(
+			fmt.Sprintf("%s %s (%d sites)", r.Domain.Title(), attr, r.Sites),
+			preview, plot.Options{LogX: true, Width: 64, Height: 12, YMin: 0, YMax: 1}))
+	}
+	return nil
+}
+
+func fig3(s *core.Study, outDir string, w io.Writer) error {
+	r, err := s.Fig3()
+	if err != nil {
+		return err
+	}
+	series := curvesToSeries(r.Curves)
+	if err := writeFile(outDir, "fig3_books_isbn.tsv", func(out io.Writer) error {
+		return plot.WriteTSV(out, series...)
+	}); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "== Fig 3: Spread of Book ISBN Numbers ==")
+	fmt.Fprintln(w, plot.ASCII("Books ISBN", []plot.Series{series[0], series[4]},
+		plot.Options{LogX: true, Width: 64, Height: 12, YMin: 0, YMax: 1}))
+	return nil
+}
+
+func fig4(s *core.Study, outDir string, w io.Writer) error {
+	a, err := s.Fig4a()
+	if err != nil {
+		return err
+	}
+	series := curvesToSeries(a.Curves)
+	if err := writeFile(outDir, "fig4a_restaurant_reviews.tsv", func(out io.Writer) error {
+		return plot.WriteTSV(out, series...)
+	}); err != nil {
+		return err
+	}
+	b, err := s.Fig4b()
+	if err != nil {
+		return err
+	}
+	bx := make([]float64, len(b.T))
+	for i, t := range b.T {
+		bx[i] = float64(t)
+	}
+	agg := plot.Series{Name: "aggregate", X: bx, Y: b.Coverage}
+	if err := writeFile(outDir, "fig4b_aggregate_reviews.tsv", func(out io.Writer) error {
+		return plot.WriteTSV(out, agg)
+	}); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "== Fig 4: Spread of Review Attribute for Restaurants ==")
+	fmt.Fprintln(w, plot.ASCII("(a) review k-coverage", []plot.Series{series[0], series[1]},
+		plot.Options{LogX: true, Width: 64, Height: 12, YMin: 0, YMax: 1}))
+	fmt.Fprintln(w, plot.ASCII("(b) aggregate review pages vs (a) k=1",
+		[]plot.Series{series[0], agg},
+		plot.Options{LogX: true, Width: 64, Height: 12, YMin: 0, YMax: 1}))
+	return nil
+}
+
+func fig5(s *core.Study, outDir string, w io.Writer) error {
+	r, err := s.Fig5()
+	if err != nil {
+		return err
+	}
+	toSeries := func(name string, c coverage.Curve) plot.Series {
+		x := make([]float64, len(c.T))
+		for i, t := range c.T {
+			x[i] = float64(t)
+		}
+		return plot.Series{Name: name, X: x, Y: c.Coverage}
+	}
+	size := toSeries("order-by-size", r.BySize)
+	greedy := toSeries("greedy-set-cover", r.Greedy)
+	if err := writeFile(outDir, "fig5_greedy_cover.tsv", func(out io.Writer) error {
+		return plot.WriteTSV(out, size, greedy)
+	}); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "== Fig 5: Ordering Sites by Diversity (restaurant homepages) ==")
+	fmt.Fprintln(w, plot.ASCII("greedy vs size order", []plot.Series{size, greedy},
+		plot.Options{LogX: true, Width: 64, Height: 12, YMin: 0, YMax: 1}))
+	return nil
+}
+
+func fig6(s *core.Study, outDir string, w io.Writer) error {
+	rs, err := s.Fig6()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "== Fig 6: The long tail of demand ==")
+	bySrc := map[string][]plot.Series{}
+	for _, r := range rs {
+		cx := make([]float64, len(r.CDF))
+		cy := make([]float64, len(r.CDF))
+		for i, p := range r.CDF {
+			cx[i], cy[i] = p.InventoryFrac, p.DemandFrac
+		}
+		cdfSeries := plot.Series{Name: string(r.Site), X: cx, Y: cy}
+		px := make([]float64, len(r.PDF))
+		py := make([]float64, len(r.PDF))
+		for i, p := range r.PDF {
+			px[i], py[i] = float64(p.Rank), p.DemandFrac
+		}
+		pdfSeries := plot.Series{Name: string(r.Site), X: px, Y: py}
+		name := fmt.Sprintf("fig6_%s_%s.tsv", r.Site, r.Source)
+		if err := writeFile(outDir, name, func(out io.Writer) error {
+			return plot.WriteTSV(out, cdfSeries, pdfSeries)
+		}); err != nil {
+			return err
+		}
+		bySrc[string(r.Source)] = append(bySrc[string(r.Source)], cdfSeries)
+		fmt.Fprintf(w, "%s/%s: top-20%% of inventory carries %.1f%% of demand (gini %.2f, zipf s=%.2f)\n",
+			r.Site, r.Source, 100*r.Top20, r.GiniSkew, r.ZipfS)
+	}
+	for _, src := range []string{"search", "browse"} {
+		fmt.Fprintln(w, plot.ASCII("cumulative demand, "+src+" data", bySrc[src],
+			plot.Options{Width: 64, Height: 12, YMin: 0, YMax: 1}))
+	}
+	return nil
+}
+
+func fig78(s *core.Study, outDir string, w io.Writer, normalized bool) error {
+	var rs []*core.Fig78Result
+	var err error
+	figID := "fig8"
+	if normalized {
+		figID = "fig7"
+		rs, err = s.Fig7()
+	} else {
+		rs, err = s.Fig8()
+	}
+	if err != nil {
+		return err
+	}
+	if normalized {
+		fmt.Fprintln(w, "== Fig 7: Normalized demand vs number of existing reviews ==")
+	} else {
+		fmt.Fprintln(w, "== Fig 8: Average relative value-add VA(n)/VA(0) ==")
+	}
+	bySite := map[string][]plot.Series{}
+	for _, r := range rs {
+		x := make([]float64, len(r.Bins))
+		y := make([]float64, len(r.Bins))
+		for i, b := range r.Bins {
+			x[i] = b.CenterN
+			if x[i] == 0 {
+				x[i] = 0.5 // log-axis placement for the zero-review bin
+			}
+			if normalized {
+				y[i] = b.MeanDemand
+			} else {
+				y[i] = b.RelVA
+			}
+		}
+		series := plot.Series{Name: string(r.Source), X: x, Y: y}
+		name := fmt.Sprintf("%s_%s_%s.tsv", figID, r.Site, r.Source)
+		if err := writeFile(outDir, name, func(out io.Writer) error {
+			return plot.WriteTSV(out, series)
+		}); err != nil {
+			return err
+		}
+		bySite[string(r.Site)] = append(bySite[string(r.Site)], series)
+	}
+	sites := make([]string, 0, len(bySite))
+	for site := range bySite {
+		sites = append(sites, site)
+	}
+	sort.Strings(sites)
+	for _, site := range sites {
+		fmt.Fprintln(w, plot.ASCII(site, bySite[site],
+			plot.Options{LogX: true, Width: 64, Height: 12}))
+	}
+	return nil
+}
+
+func table2(s *core.Study, outDir string, w io.Writer) error {
+	rows, err := s.Table2()
+	if err != nil {
+		return err
+	}
+	render := func(out io.Writer) error {
+		fmt.Fprintf(out, "%-12s %-10s %10s %9s %11s %14s\n",
+			"Domain", "Attr", "Avg#sites", "diameter", "#conn.comp.", "%ent.largest")
+		for _, r := range rows {
+			fmt.Fprintf(out, "%-12s %-10s %10.1f %9d %11d %14.2f\n",
+				r.Domain, r.Attr, r.AvgSitesPerEntity, r.Diameter, r.Components, 100*r.FracLargest)
+		}
+		return nil
+	}
+	fmt.Fprintln(w, "== Table 2: Entity-Site Graphs and Metrics ==")
+	if err := render(w); err != nil {
+		return err
+	}
+	return writeFile(outDir, "table2.txt", render)
+}
+
+func fig9(s *core.Study, outDir string, w io.Writer) error {
+	rs, err := s.Fig9()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "== Fig 9: Robustness after removing top-k sites ==")
+	byAttr := map[entity.Attr][]plot.Series{}
+	for _, r := range rs {
+		x := make([]float64, len(r.Curve))
+		for i := range r.Curve {
+			x[i] = float64(i)
+		}
+		series := plot.Series{Name: string(r.Domain), X: x, Y: r.Curve}
+		name := fmt.Sprintf("fig9_%s_%s.tsv", r.Domain, r.Attr)
+		if err := writeFile(outDir, name, func(out io.Writer) error {
+			return plot.WriteTSV(out, series)
+		}); err != nil {
+			return err
+		}
+		byAttr[r.Attr] = append(byAttr[r.Attr], series)
+	}
+	for _, attr := range []entity.Attr{entity.AttrPhone, entity.AttrHomepage, entity.AttrISBN} {
+		if len(byAttr[attr]) == 0 {
+			continue
+		}
+		fmt.Fprintln(w, plot.ASCII("fraction in largest component, "+string(attr),
+			byAttr[attr], plot.Options{Width: 64, Height: 12}))
+	}
+	return nil
+}

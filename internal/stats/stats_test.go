@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.Sum != 0 {
+		t.Errorf("zero Summary expected, got %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Errorf("N = %d", s.N)
+	}
+	if !almostEq(s.Mean, 5, 1e-12) {
+		t.Errorf("Mean = %v", s.Mean)
+	}
+	if !almostEq(s.Variance, 4, 1e-12) {
+		t.Errorf("Variance = %v", s.Variance)
+	}
+	if !almostEq(s.StdDev, 2, 1e-12) {
+		t.Errorf("StdDev = %v", s.StdDev)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean should be 0")
+	}
+	if !almostEq(Mean([]float64{1, 2, 3}), 2, 1e-12) {
+		t.Error("mean of 1,2,3 should be 2")
+	}
+}
+
+func TestQuantileValidation(t *testing.T) {
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Error("empty sample should error")
+	}
+	if _, err := Quantile([]float64{1}, -0.1); err == nil {
+		t.Error("q<0 should error")
+	}
+	if _, err := Quantile([]float64{1}, 1.1); err == nil {
+		t.Error("q>1 should error")
+	}
+}
+
+func TestQuantileKnown(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	q0, _ := Quantile(xs, 0)
+	q1, _ := Quantile(xs, 1)
+	med, _ := Quantile(xs, 0.5)
+	if q0 != 1 || q1 != 9 {
+		t.Errorf("min/max quantiles: %v, %v", q0, q1)
+	}
+	if !almostEq(med, 3.5, 1e-12) {
+		t.Errorf("median = %v, want 3.5", med)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Quantile(xs, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestZScores(t *testing.T) {
+	z := ZScores([]float64{1, 2, 3, 4, 5})
+	s := Summarize(z)
+	if !almostEq(s.Mean, 0, 1e-12) || !almostEq(s.StdDev, 1, 1e-12) {
+		t.Errorf("z-scores not standardized: mean=%v sd=%v", s.Mean, s.StdDev)
+	}
+}
+
+func TestZScoresConstant(t *testing.T) {
+	z := ZScores([]float64{7, 7, 7})
+	for _, v := range z {
+		if v != 0 {
+			t.Errorf("constant input should give zero scores, got %v", z)
+		}
+	}
+}
+
+func TestGiniUniform(t *testing.T) {
+	if g := Gini([]float64{5, 5, 5, 5}); !almostEq(g, 0, 1e-12) {
+		t.Errorf("uniform Gini = %v, want 0", g)
+	}
+}
+
+func TestGiniExtreme(t *testing.T) {
+	xs := make([]float64, 1000)
+	xs[0] = 100
+	if g := Gini(xs); g < 0.99 {
+		t.Errorf("all-mass-on-one Gini = %v, want ~1", g)
+	}
+}
+
+func TestGiniEmptyAndZero(t *testing.T) {
+	if Gini(nil) != 0 {
+		t.Error("empty Gini should be 0")
+	}
+	if Gini([]float64{0, 0}) != 0 {
+		t.Error("zero-mass Gini should be 0")
+	}
+}
+
+func TestGiniBounds(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		g := Gini(xs)
+		return g >= -1e-9 && g <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopShare(t *testing.T) {
+	// 10 elements: one holds 91 of 100 total mass.
+	xs := []float64{91, 1, 1, 1, 1, 1, 1, 1, 1, 1}
+	if s := TopShare(xs, 0.1); !almostEq(s, 0.91, 1e-12) {
+		t.Errorf("top-10%% share = %v, want 0.91", s)
+	}
+	if s := TopShare(xs, 1); !almostEq(s, 1, 1e-12) {
+		t.Errorf("full share = %v, want 1", s)
+	}
+	if s := TopShare(xs, 2); !almostEq(s, 1, 1e-12) {
+		t.Errorf("frac>1 clamps to 1, got %v", s)
+	}
+	if TopShare(nil, 0.5) != 0 || TopShare(xs, 0) != 0 {
+		t.Error("degenerate TopShare should be 0")
+	}
+}
+
+func TestTopShareMonotoneInFrac(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		var sum float64
+		for i, v := range raw {
+			xs[i] = float64(v)
+			sum += xs[i]
+		}
+		if sum == 0 {
+			return true
+		}
+		prev := 0.0
+		for _, frac := range []float64{0.1, 0.25, 0.5, 0.75, 1.0} {
+			s := TopShare(xs, frac)
+			if s+1e-9 < prev {
+				return false
+			}
+			prev = s
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,144 @@
+package synth
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/classify"
+	"repro/internal/entity"
+	"repro/internal/extract"
+	"repro/internal/index"
+)
+
+// DirectIndexes builds the per-attribute entity–host indexes straight
+// from the model's coverage decisions, bypassing HTML. This is the fast
+// path used for large parameter sweeps; ExtractIndexes (render → parse →
+// extract → aggregate) produces identical indexes on the same web, which
+// the test suite asserts.
+func (w *Web) DirectIndexes() map[entity.Attr]*index.Index {
+	attrs := entity.AttrsFor(w.Config.Domain)
+	builders := make(map[entity.Attr]*index.Builder, len(attrs))
+	for _, a := range attrs {
+		builders[a] = index.NewBuilder(w.Config.Domain, a, w.attrUniverse(a))
+	}
+	keyAttr := entity.AttrPhone
+	if w.Config.Domain == entity.Books {
+		keyAttr = entity.AttrISBN
+	}
+	for si := range w.Sites {
+		s := &w.Sites[si]
+		for _, l := range s.Listings {
+			if l.HasKey {
+				builders[keyAttr].Add(s.Host, l.Entity)
+			}
+			if l.HasHomepage {
+				if b, ok := builders[entity.AttrHomepage]; ok {
+					b.Add(s.Host, l.Entity)
+				}
+			}
+			if l.Reviews > 0 {
+				if b, ok := builders[entity.AttrReview]; ok {
+					b.Add(s.Host, l.Entity)
+					for i := 0; i < l.Reviews; i++ {
+						b.AddPage(s.Host)
+					}
+				}
+			}
+		}
+	}
+	out := make(map[entity.Attr]*index.Index, len(builders))
+	for a, b := range builders {
+		out[a] = b.Build()
+	}
+	normalizeReviewUniverse(out)
+	return out
+}
+
+// attrUniverse returns the coverage denominator for one attribute:
+// phones and ISBNs span the whole database, homepages span the entities
+// that have one (an entity with no website can never be homepage-
+// covered; the paper's Fig 2 curves likewise saturate at the achievable
+// maximum). The review universe is resolved after the index is built.
+func (w *Web) attrUniverse(a entity.Attr) int {
+	if a == entity.AttrHomepage {
+		return len(w.DB.WithHomepage())
+	}
+	return w.Config.Entities
+}
+
+// normalizeReviewUniverse sets the review index denominator to the
+// number of entities with at least one review anywhere (§3.4: coverage
+// of "restaurants covered ... with respect to reviews").
+func normalizeReviewUniverse(idxs map[entity.Attr]*index.Index) {
+	if idx, ok := idxs[entity.AttrReview]; ok {
+		if n := idx.DistinctEntities(); n > 0 {
+			idx.NumEntities = n
+		}
+	}
+}
+
+// ExtractIndexes runs the full extraction pipeline over the rendered
+// web: each site's pages are rendered to HTML, parsed, and mined for
+// entity mentions, which are aggregated by host into per-attribute
+// indexes. Work is spread over workers goroutines (<= 0 means
+// GOMAXPROCS). reviewClf may be nil for domains without the review
+// attribute; restaurants require it.
+func (w *Web) ExtractIndexes(reviewClf *classify.NaiveBayes, workers int) (map[entity.Attr]*index.Index, error) {
+	if w.Config.Domain == entity.Restaurants && reviewClf == nil {
+		return nil, fmt.Errorf("synth: restaurants extraction needs a review classifier")
+	}
+	x, err := extract.New(w.DB, reviewClf)
+	if err != nil {
+		return nil, fmt.Errorf("synth: build extractor: %w", err)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	attrs := entity.AttrsFor(w.Config.Domain)
+	sharded := make(map[entity.Attr]*index.ShardedBuilder, len(attrs))
+	for _, a := range attrs {
+		sharded[a] = index.NewShardedBuilder(w.Config.Domain, a, w.attrUniverse(a), 4*workers)
+	}
+
+	siteCh := make(chan *Site, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range siteCh {
+				for _, p := range w.RenderSite(s) {
+					pageReview := false
+					for _, m := range x.Page(p.HTML) {
+						if b, ok := sharded[m.Attr]; ok {
+							b.Add(s.Host, m.EntityID)
+						}
+						if m.Attr == entity.AttrReview {
+							pageReview = true
+						}
+					}
+					if pageReview {
+						sharded[entity.AttrReview].AddPage(s.Host)
+					}
+				}
+			}
+		}()
+	}
+	for si := range w.Sites {
+		siteCh <- &w.Sites[si]
+	}
+	close(siteCh)
+	wg.Wait()
+
+	out := make(map[entity.Attr]*index.Index, len(sharded))
+	for a, b := range sharded {
+		idx, err := b.Build()
+		if err != nil {
+			return nil, fmt.Errorf("synth: build %s index: %w", a, err)
+		}
+		out[a] = idx
+	}
+	normalizeReviewUniverse(out)
+	return out, nil
+}

@@ -1,0 +1,226 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/entity"
+)
+
+func smallWeb(t *testing.T, d entity.Domain) *Web {
+	t.Helper()
+	w, err := Generate(Config{
+		Domain:         d,
+		Entities:       800,
+		DirectoryHosts: 1200,
+		Seed:           42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{Domain: "bogus", Entities: 10, DirectoryHosts: 10}); err == nil {
+		t.Error("invalid domain should fail")
+	}
+	if _, err := Generate(Config{Domain: entity.Banks, Entities: 0, DirectoryHosts: 10}); err == nil {
+		t.Error("zero entities should fail")
+	}
+	if _, err := Generate(Config{Domain: entity.Banks, Entities: 10, DirectoryHosts: 0}); err == nil {
+		t.Error("zero hosts should fail")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := smallWeb(t, entity.Restaurants)
+	b := smallWeb(t, entity.Restaurants)
+	if len(a.Sites) != len(b.Sites) {
+		t.Fatalf("site counts differ: %d vs %d", len(a.Sites), len(b.Sites))
+	}
+	for i := range a.Sites {
+		if a.Sites[i].Host != b.Sites[i].Host || len(a.Sites[i].Listings) != len(b.Sites[i].Listings) {
+			t.Fatalf("site %d differs", i)
+		}
+		for j := range a.Sites[i].Listings {
+			if a.Sites[i].Listings[j] != b.Sites[i].Listings[j] {
+				t.Fatalf("site %d listing %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestSiteSizesDecay(t *testing.T) {
+	w := smallWeb(t, entity.Banks)
+	// Site 0 must dwarf site 100; directory population is ordered by rank.
+	if len(w.Sites[0].Listings) < 5*len(w.Sites[100].Listings) {
+		t.Errorf("head site %d listings vs rank-100 %d: expected strong decay",
+			len(w.Sites[0].Listings), len(w.Sites[100].Listings))
+	}
+	// Head site covers a majority of entities.
+	if got := len(w.Sites[0].Listings); got < w.Config.Entities/2 {
+		t.Errorf("head site covers %d of %d", got, w.Config.Entities)
+	}
+}
+
+func TestSiteClasses(t *testing.T) {
+	w := smallWeb(t, entity.Hotels)
+	aggs, dirs, selfs := 0, 0, 0
+	for i := range w.Sites {
+		switch w.Sites[i].Class {
+		case Aggregator:
+			aggs++
+		case Directory:
+			dirs++
+		case SelfSite:
+			selfs++
+			if len(w.Sites[i].Listings) != 1 {
+				t.Errorf("self site with %d listings", len(w.Sites[i].Listings))
+			}
+			l := w.Sites[i].Listings[0]
+			if !l.HasKey || !l.HasHomepage {
+				t.Errorf("self site listing %+v must carry key and homepage", l)
+			}
+		}
+	}
+	if aggs != w.Config.Aggregators {
+		t.Errorf("aggregators = %d, want %d", aggs, w.Config.Aggregators)
+	}
+	if dirs != w.Config.DirectoryHosts-w.Config.Aggregators {
+		t.Errorf("directories = %d", dirs)
+	}
+	wantSelf := len(w.DB.WithHomepage())
+	if selfs != wantSelf {
+		t.Errorf("self sites = %d, want %d", selfs, wantSelf)
+	}
+}
+
+func TestBooksHaveNoSelfSitesOrHomepages(t *testing.T) {
+	w := smallWeb(t, entity.Books)
+	for i := range w.Sites {
+		if w.Sites[i].Class == SelfSite {
+			t.Fatal("books should have no self sites")
+		}
+		for _, l := range w.Sites[i].Listings {
+			if l.HasHomepage {
+				t.Fatal("book listings should not link homepages")
+			}
+			if l.Reviews != 0 {
+				t.Fatal("book listings should have no reviews")
+			}
+		}
+	}
+}
+
+func TestReviewsOnlyForRestaurants(t *testing.T) {
+	for _, d := range []entity.Domain{entity.Banks, entity.Schools} {
+		w := smallWeb(t, d)
+		if w.TotalReviewPages() != 0 {
+			t.Errorf("%s has %d review pages", d, w.TotalReviewPages())
+		}
+	}
+	w := smallWeb(t, entity.Restaurants)
+	if w.TotalReviewPages() == 0 {
+		t.Error("restaurants web has no reviews")
+	}
+}
+
+func TestReviewsImplyKey(t *testing.T) {
+	w := smallWeb(t, entity.Restaurants)
+	for i := range w.Sites {
+		for _, l := range w.Sites[i].Listings {
+			if l.Reviews > 0 && !l.HasKey {
+				t.Fatalf("listing with reviews lacks key: %+v", l)
+			}
+		}
+	}
+}
+
+func TestReviewsSkewToHeadEntities(t *testing.T) {
+	w := smallWeb(t, entity.Restaurants)
+	reviews := make([]int, w.Config.Entities)
+	for i := range w.Sites {
+		for _, l := range w.Sites[i].Listings {
+			reviews[l.Entity] += l.Reviews
+		}
+	}
+	headSum, tailSum := 0, 0
+	for e := 0; e < 80; e++ { // top 10%
+		headSum += reviews[e]
+	}
+	for e := w.Config.Entities - 80; e < w.Config.Entities; e++ { // bottom 10%
+		tailSum += reviews[e]
+	}
+	if headSum <= 2*tailSum {
+		t.Errorf("reviews not head-skewed: head=%d tail=%d", headSum, tailSum)
+	}
+}
+
+func TestHostNamesDistinct(t *testing.T) {
+	w := smallWeb(t, entity.Retail)
+	seen := map[string]bool{}
+	for i := range w.Sites {
+		h := w.Sites[i].Host
+		if h == "" {
+			t.Fatal("empty host")
+		}
+		if seen[h] {
+			t.Fatalf("duplicate host %q", h)
+		}
+		seen[h] = true
+	}
+}
+
+func TestPopularityBias(t *testing.T) {
+	w := smallWeb(t, entity.Automotive)
+	// Count directory-population coverage per entity; head decile must be
+	// covered more than tail decile.
+	cov := make([]int, w.Config.Entities)
+	for i := range w.Sites {
+		if w.Sites[i].Class == SelfSite {
+			continue
+		}
+		for _, l := range w.Sites[i].Listings {
+			cov[l.Entity]++
+		}
+	}
+	head, tail := 0, 0
+	n := w.Config.Entities
+	for e := 0; e < n/10; e++ {
+		head += cov[e]
+	}
+	for e := n - n/10; e < n; e++ {
+		tail += cov[e]
+	}
+	if head <= tail {
+		t.Errorf("no popularity bias: head=%d tail=%d", head, tail)
+	}
+}
+
+func TestSiteClassString(t *testing.T) {
+	if Aggregator.String() != "aggregator" || Directory.String() != "directory" ||
+		SelfSite.String() != "self" || SiteClass(9).String() != "unknown" {
+		t.Error("SiteClass.String broken")
+	}
+}
+
+func TestSelfSiteHostsMatchHomepage(t *testing.T) {
+	w := smallWeb(t, entity.Libraries)
+	for i := range w.Sites {
+		if w.Sites[i].Class != SelfSite {
+			continue
+		}
+		e := w.DB.Entities[w.Sites[i].Listings[0].Entity]
+		if !strings.Contains(e.Homepage, w.Sites[i].Host) {
+			t.Fatalf("self host %q not in homepage %q", w.Sites[i].Host, e.Homepage)
+		}
+	}
+}
+
+func TestTotalListingsPositive(t *testing.T) {
+	w := smallWeb(t, entity.HomeGarden)
+	if w.TotalListings() == 0 {
+		t.Fatal("no listings generated")
+	}
+}

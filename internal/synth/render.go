@@ -1,0 +1,179 @@
+package synth
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dist"
+	"repro/internal/entity"
+	"repro/internal/htmlx"
+	"repro/internal/textgen"
+)
+
+// listingsPerPage is how many business listings a directory page holds.
+const listingsPerPage = 10
+
+// Page is one rendered page of the synthetic web.
+type Page struct {
+	URL  string
+	HTML []byte
+}
+
+// RenderSite renders every page of site s: listing pages chunking the
+// site's listings, plus one page per review. Rendering is deterministic
+// given the web's seed; cosmetic choices (phone format, filler text)
+// are drawn from a per-site RNG derived from the seed and host.
+func (w *Web) RenderSite(s *Site) []Page {
+	rng := dist.NewRNG(w.Config.Seed ^ hashHost(s.Host))
+	var pages []Page
+	nPages := (len(s.Listings) + listingsPerPage - 1) / listingsPerPage
+	for p := 0; p < nPages; p++ {
+		lo := p * listingsPerPage
+		hi := lo + listingsPerPage
+		if hi > len(s.Listings) {
+			hi = len(s.Listings)
+		}
+		url := fmt.Sprintf("http://%s/listings/%d", s.Host, p)
+		if s.Class == SelfSite {
+			url = fmt.Sprintf("http://%s/", s.Host)
+		}
+		pages = append(pages, Page{
+			URL:  url,
+			HTML: w.renderListingPage(rng, s, s.Listings[lo:hi]),
+		})
+	}
+	for _, l := range s.Listings {
+		for r := 0; r < l.Reviews; r++ {
+			e := w.DB.Entities[l.Entity]
+			pages = append(pages, Page{
+				URL:  fmt.Sprintf("http://%s/review/%d/%d", s.Host, e.ID, r),
+				HTML: w.renderReviewPage(rng, e),
+			})
+		}
+	}
+	return pages
+}
+
+// renderListingPage renders one directory page with a block per listing.
+func (w *Web) renderListingPage(rng *dist.RNG, s *Site, listings []Listing) []byte {
+	var b strings.Builder
+	title := s.Host
+	if s.Class == SelfSite && len(listings) > 0 {
+		title = w.DB.Entities[listings[0].Entity].Name
+	}
+	fmt.Fprintf(&b, `<!DOCTYPE html>
+<html>
+<head><title>%s</title></head>
+<body>
+<h1>%s</h1>
+`, htmlx.EscapeText(title), htmlx.EscapeText(title))
+	for _, l := range listings {
+		e := w.DB.Entities[l.Entity]
+		b.WriteString(`<div class="listing">` + "\n")
+		fmt.Fprintf(&b, "<h2>%s</h2>\n", htmlx.EscapeText(e.Name))
+		if w.Config.Domain == entity.Books {
+			if l.HasKey {
+				fmt.Fprintf(&b, "<p>ISBN: %s</p>\n", renderISBN(rng, e))
+			}
+			fmt.Fprintf(&b, "<p>%s</p>\n", htmlx.EscapeText(textgen.Boilerplate(rng, 1+rng.Intn(2))))
+		} else {
+			fmt.Fprintf(&b, "<p>%s</p>\n", htmlx.EscapeText(e.Address.String()))
+			if l.HasKey {
+				fmt.Fprintf(&b, "<p>Phone: %s</p>\n", renderPhone(rng, e.Phone))
+			}
+			if l.HasHomepage {
+				fmt.Fprintf(&b, `<p><a href="%s">Visit website</a></p>`+"\n", renderHomepage(rng, e.Homepage))
+			}
+			fmt.Fprintf(&b, "<p>%s</p>\n", htmlx.EscapeText(textgen.Boilerplate(rng, 1+rng.Intn(2))))
+		}
+		b.WriteString("</div>\n")
+	}
+	b.WriteString("</body>\n</html>\n")
+	return []byte(b.String())
+}
+
+// renderReviewPage renders one user-review page for entity e. The page
+// carries the entity's phone (so extraction can attribute it) and
+// review prose (so the classifier recognizes it).
+func (w *Web) renderReviewPage(rng *dist.RNG, e entity.Entity) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<!DOCTYPE html>
+<html>
+<head><title>Review: %s</title></head>
+<body>
+<h1>%s</h1>
+<p class="contact">%s &middot; %s</p>
+`, htmlx.EscapeText(e.Name), htmlx.EscapeText(e.Name),
+		renderPhone(rng, e.Phone), htmlx.EscapeText(e.Address.City))
+	nReviews := 1 + rng.Intn(3)
+	for i := 0; i < nReviews; i++ {
+		fmt.Fprintf(&b, "<div class=\"review\">\n<h3>Reviewed by %s</h3>\n<p>%s</p>\n</div>\n",
+			htmlx.EscapeText(textgen.PersonName(rng)),
+			htmlx.EscapeText(textgen.Review(rng, e.Name, 4+rng.Intn(5))))
+	}
+	b.WriteString("</body>\n</html>\n")
+	return []byte(b.String())
+}
+
+// renderPhone picks one of the common display formats.
+func renderPhone(rng *dist.RNG, p entity.CanonicalPhone) string {
+	switch rng.Intn(4) {
+	case 0:
+		return p.Format()
+	case 1:
+		return p.FormatDashed()
+	case 2:
+		return p.FormatDotted()
+	default:
+		return string(p)
+	}
+}
+
+// renderHomepage introduces the cosmetic URL variation real pages have.
+func renderHomepage(rng *dist.RNG, u string) string {
+	switch rng.Intn(3) {
+	case 0:
+		return u
+	case 1:
+		return strings.TrimSuffix(u, "/")
+	default:
+		return strings.Replace(u, "http://", "https://", 1)
+	}
+}
+
+// renderISBN shows either the ISBN-10 or the hyphenated ISBN-13.
+func renderISBN(rng *dist.RNG, e entity.Entity) string {
+	if rng.Intn(2) == 0 {
+		return e.ISBN10
+	}
+	return entity.FormatISBN13(e.ISBN13)
+}
+
+// hashHost gives a stable 64-bit mix of a host name (FNV-1a).
+func hashHost(host string) uint64 {
+	var h uint64 = 0xcbf29ce484222325
+	for i := 0; i < len(host); i++ {
+		h ^= uint64(host[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// TrainingPages renders a labeled corpus for the review classifier:
+// review pages (label true) and listing/boilerplate pages (label false)
+// drawn from the same generators the web uses, as the paper trains its
+// classifier on labeled page samples.
+func (w *Web) TrainingPages(n int, seed uint64) (pages [][]byte, labels []bool) {
+	rng := dist.NewRNG(seed ^ 0x7ea11abe1)
+	for i := 0; i < n; i++ {
+		e := w.DB.Entities[rng.Intn(len(w.DB.Entities))]
+		pages = append(pages, w.renderReviewPage(rng, e))
+		labels = append(labels, true)
+
+		l := Listing{Entity: e.ID, HasKey: true}
+		site := &Site{Host: "training.example.com", Class: Directory}
+		pages = append(pages, w.renderListingPage(rng, site, []Listing{l}))
+		labels = append(labels, false)
+	}
+	return pages, labels
+}

@@ -1,0 +1,165 @@
+package textgen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dist"
+)
+
+// BusinessName returns a plausible business name for the given domain
+// key (one of the keys accepted by bizNouns; unknown keys fall back to a
+// generic noun set). Names are drawn deterministically from rng.
+func BusinessName(rng *dist.RNG, domain string) string {
+	nouns, ok := bizNouns[domain]
+	if !ok {
+		nouns = bizNouns["defaultdomain"]
+	}
+	switch rng.Intn(4) {
+	case 0: // "Golden Kitchen"
+		return bizAdjectives[rng.Intn(len(bizAdjectives))] + " " + nouns[rng.Intn(len(nouns))]
+	case 1: // "Chen's Grill"
+		return lastNames[rng.Intn(len(lastNames))] + "'s " + nouns[rng.Intn(len(nouns))]
+	case 2: // "Thai Table" (restaurants get cuisine; others get city)
+		if domain == "restaurants" {
+			return cuisines[rng.Intn(len(cuisines))] + " " + nouns[rng.Intn(len(nouns))]
+		}
+		return cities[rng.Intn(len(cities))] + " " + nouns[rng.Intn(len(nouns))]
+	default: // "Fairview Golden Inn"
+		return cities[rng.Intn(len(cities))] + " " +
+			bizAdjectives[rng.Intn(len(bizAdjectives))] + " " + nouns[rng.Intn(len(nouns))]
+	}
+}
+
+// PersonName returns a random full name.
+func PersonName(rng *dist.RNG) string {
+	return firstNames[rng.Intn(len(firstNames))] + " " + lastNames[rng.Intn(len(lastNames))]
+}
+
+// Address holds a simple US postal address.
+type Address struct {
+	Street string
+	City   string
+	State  string
+	Zip    string
+}
+
+// String renders the address on one line.
+func (a Address) String() string {
+	return fmt.Sprintf("%s, %s, %s %s", a.Street, a.City, a.State, a.Zip)
+}
+
+// USAddress returns a random US address.
+func USAddress(rng *dist.RNG) Address {
+	return Address{
+		Street: fmt.Sprintf("%d %s %s", 1+rng.Intn(9999),
+			streetNames[rng.Intn(len(streetNames))],
+			streetTypes[rng.Intn(len(streetTypes))]),
+		City:  cities[rng.Intn(len(cities))],
+		State: states[rng.Intn(len(states))],
+		Zip:   fmt.Sprintf("%05d", 10000+rng.Intn(89999)),
+	}
+}
+
+// City returns a random city name.
+func City(rng *dist.RNG) string { return cities[rng.Intn(len(cities))] }
+
+// Review generates a review paragraph about the named entity, with the
+// given number of sentences (minimum 3 effective). Reviews mix opener,
+// sentiment sentences, shared filler, and a closer, so they carry the
+// lexical signal the Naïve-Bayes classifier learns.
+func Review(rng *dist.RNG, entityName string, sentences int) string {
+	if sentences < 3 {
+		sentences = 3
+	}
+	var b strings.Builder
+	b.WriteString(reviewOpeners[rng.Intn(len(reviewOpeners))])
+	b.WriteByte(' ')
+	positive := rng.Float64() < 0.65
+	pool := reviewPositive
+	if !positive {
+		pool = reviewNegative
+	}
+	b.WriteString(pool[rng.Intn(len(pool))])
+	b.WriteString(". ")
+	for i := 0; i < sentences-2; i++ {
+		switch rng.Intn(5) {
+		case 0:
+			b.WriteString(sharedFiller[rng.Intn(len(sharedFiller))])
+		case 1:
+			b.WriteString("At " + entityName + ", " + pool[rng.Intn(len(pool))] + ".")
+		default:
+			b.WriteString(capitalize(pool[rng.Intn(len(pool))]) + ".")
+		}
+		b.WriteByte(' ')
+	}
+	b.WriteString(reviewClosers[rng.Intn(len(reviewClosers))])
+	return b.String()
+}
+
+// Boilerplate generates non-review informational text mentioning nothing
+// sentiment-laden: directory blurbs, hours, announcements.
+func Boilerplate(rng *dist.RNG, sentences int) string {
+	if sentences < 1 {
+		sentences = 1
+	}
+	parts := make([]string, 0, sentences)
+	for i := 0; i < sentences; i++ {
+		if rng.Float64() < 0.2 {
+			parts = append(parts, sharedFiller[rng.Intn(len(sharedFiller))])
+		} else {
+			parts = append(parts, boilerplateSentences[rng.Intn(len(boilerplateSentences))])
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// BookTitle returns a plausible book title.
+func BookTitle(rng *dist.RNG) string {
+	patterns := []func() string{
+		func() string {
+			return "The " + bizAdjectives[rng.Intn(len(bizAdjectives))] + " " +
+				streetNames[rng.Intn(len(streetNames))]
+		},
+		func() string {
+			return "A History of " + cities[rng.Intn(len(cities))]
+		},
+		func() string {
+			return firstNames[rng.Intn(len(firstNames))] + " and the " +
+				bizAdjectives[rng.Intn(len(bizAdjectives))] + " " + cuisines[rng.Intn(len(cuisines))%len(cuisines)]
+		},
+		func() string {
+			return "Notes from " + cities[rng.Intn(len(cities))] + " " +
+				streetTypes[rng.Intn(len(streetTypes))]
+		},
+	}
+	return patterns[rng.Intn(len(patterns))]()
+}
+
+// MovieTitle returns a plausible movie title.
+func MovieTitle(rng *dist.RNG) string {
+	switch rng.Intn(3) {
+	case 0:
+		return "The " + bizAdjectives[rng.Intn(len(bizAdjectives))] + " " + streetNames[rng.Intn(len(streetNames))]
+	case 1:
+		return cities[rng.Intn(len(cities))] + " Nights"
+	default:
+		return "Return to " + cities[rng.Intn(len(cities))]
+	}
+}
+
+// ProductTitle returns a plausible retail product title.
+func ProductTitle(rng *dist.RNG) string {
+	brands := []string{"Acme", "Zenith", "Polaris", "Vertex", "Nimbus", "Quanta", "Stellar", "Orion"}
+	items := []string{"Wireless Headphones", "Coffee Maker", "Desk Lamp", "Backpack",
+		"Water Bottle", "Bluetooth Speaker", "Notebook", "Running Shoes", "Blender", "Monitor Stand"}
+	return fmt.Sprintf("%s %s Model %d", brands[rng.Intn(len(brands))],
+		items[rng.Intn(len(items))], 100+rng.Intn(900))
+}
+
+func capitalize(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}

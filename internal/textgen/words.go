@@ -1,0 +1,148 @@
+// Package textgen deterministically generates the natural-language
+// surface forms the synthetic web needs: business names, US street
+// addresses and cities, review paragraphs, and non-review boilerplate.
+// The review/non-review generators share enough vocabulary to make the
+// Naïve-Bayes review classifier's job non-trivial, mirroring the paper's
+// setup where a classifier separates review pages from other pages that
+// mention the same restaurant.
+package textgen
+
+// Vocabulary tables. Kept unexported; callers use the generator funcs.
+
+var firstNames = []string{
+	"Maria", "James", "Wei", "Aisha", "Carlos", "Yuki", "Priya", "Omar",
+	"Elena", "Dmitri", "Fatima", "Liam", "Sofia", "Noah", "Amara", "Kai",
+	"Lucia", "Mateo", "Hana", "Ravi", "Ingrid", "Tariq", "Nadia", "Henrik",
+}
+
+var lastNames = []string{
+	"Smith", "Garcia", "Chen", "Patel", "Johnson", "Kim", "Nguyen", "Ali",
+	"Brown", "Rossi", "Sato", "Mueller", "Silva", "Kowalski", "Haddad",
+	"Olsen", "Dubois", "Ivanov", "Okafor", "Yamamoto", "Fernandez", "Novak",
+}
+
+var cuisines = []string{
+	"Italian", "Thai", "Mexican", "Sushi", "BBQ", "Vegan", "French",
+	"Indian", "Korean", "Greek", "Ethiopian", "Cajun", "Peruvian",
+	"Szechuan", "Mediterranean", "Tapas", "Ramen", "Diner", "Bistro",
+}
+
+var bizAdjectives = []string{
+	"Golden", "Silver", "Blue", "Red", "Happy", "Lucky", "Royal", "Grand",
+	"Little", "Big", "Old", "New", "Sunny", "Cozy", "Urban", "Rustic",
+	"Prime", "Classic", "Modern", "Friendly", "Twin", "Coastal", "Summit",
+}
+
+var bizNouns = map[string][]string{
+	"restaurants":   {"Kitchen", "Table", "Grill", "Cafe", "Bistro", "Eatery", "Garden", "House", "Spoon", "Fork", "Oven", "Plate", "Corner", "Terrace"},
+	"automotive":    {"Motors", "Auto Care", "Garage", "Tire Center", "Body Shop", "Auto Repair", "Car Wash", "Transmission", "Lube", "Collision Center"},
+	"banks":         {"Savings Bank", "Credit Union", "Trust", "National Bank", "Community Bank", "Federal Savings", "Bancorp", "Financial"},
+	"libraries":     {"Public Library", "Community Library", "Branch Library", "Memorial Library", "Reading Room", "County Library"},
+	"schools":       {"Elementary School", "High School", "Academy", "Middle School", "Charter School", "Preparatory School", "Montessori School"},
+	"hotels":        {"Inn", "Hotel", "Suites", "Lodge", "Motel", "Resort", "Guesthouse", "Bed & Breakfast", "Plaza Hotel"},
+	"retail":        {"Emporium", "Boutique", "Outlet", "Market", "Trading Post", "Shop", "Depot", "Gallery", "Goods", "Supply Co"},
+	"homegarden":    {"Nursery", "Garden Center", "Hardware", "Landscaping", "Home Supply", "Paint & Decor", "Furniture", "Kitchen & Bath"},
+	"moviestudios":  {"Pictures", "Studios", "Films", "Productions"},
+	"products":      {"Works", "Labs", "Industries", "Goods"},
+	"defaultdomain": {"Store", "Center", "Shop", "Services"},
+}
+
+var streetNames = []string{
+	"Main", "Oak", "Maple", "Washington", "Elm", "Lake", "Hill", "Park",
+	"Pine", "Cedar", "Walnut", "Sunset", "Lincoln", "Jackson", "Church",
+	"Spring", "River", "Highland", "Madison", "Franklin", "Chestnut",
+}
+
+var streetTypes = []string{"St", "Ave", "Blvd", "Rd", "Ln", "Dr", "Way", "Pl"}
+
+var cities = []string{
+	"Springfield", "Riverton", "Fairview", "Kingston", "Salem", "Georgetown",
+	"Clinton", "Madison", "Arlington", "Ashland", "Dover", "Oxford",
+	"Bristol", "Clayton", "Dayton", "Franklin", "Greenville", "Hudson",
+	"Lebanon", "Milford", "Newport", "Oakland", "Riverside", "Troy",
+	"Auburn", "Burlington", "Centerville", "Florence", "Glendale", "Hamilton",
+}
+
+var states = []string{
+	"CA", "NY", "TX", "FL", "IL", "PA", "OH", "GA", "NC", "MI",
+	"NJ", "VA", "WA", "AZ", "MA", "TN", "IN", "MO", "MD", "WI",
+}
+
+// Review vocabulary: sentiment-bearing words that signal review content.
+var reviewOpeners = []string{
+	"I visited this place last weekend and",
+	"My family and I stopped by and",
+	"After hearing so much about it,",
+	"We came here for a birthday dinner and",
+	"Been coming here for years and",
+	"First time here and honestly,",
+	"Stopped in on a whim and",
+	"My experience here was such that",
+}
+
+var reviewPositive = []string{
+	"the service was outstanding",
+	"the food exceeded every expectation",
+	"the staff went above and beyond",
+	"the atmosphere felt warm and welcoming",
+	"every dish was cooked to perfection",
+	"the prices were very reasonable for the quality",
+	"I would absolutely recommend it to anyone",
+	"five stars without hesitation",
+	"the ambiance was delightful",
+	"portions were generous and delicious",
+}
+
+var reviewNegative = []string{
+	"the wait was far too long",
+	"our server seemed completely overwhelmed",
+	"the food arrived cold and bland",
+	"I was disappointed by the small portions",
+	"the place could use a thorough cleaning",
+	"two stars at best",
+	"I doubt we will ever return",
+	"the prices did not match the quality",
+	"the noise level made conversation impossible",
+	"my order came out wrong twice",
+}
+
+var reviewClosers = []string{
+	"Overall a memorable experience.",
+	"Would I go back? Probably.",
+	"Definitely worth a try if you are in the area.",
+	"Your mileage may vary, but that was my visit.",
+	"Rating reflects my honest impression.",
+	"Hope this review helps other diners.",
+	"Check it out and judge for yourself.",
+}
+
+// Boilerplate vocabulary: informational, non-review page content that
+// still mentions businesses (directory listings, hours, announcements).
+var boilerplateSentences = []string{
+	"Business hours are Monday through Saturday from 9am to 6pm.",
+	"Conveniently located near the downtown transit center.",
+	"Established to serve the local community with pride.",
+	"Contact the office for current availability and scheduling.",
+	"Ample parking is available behind the building.",
+	"See the official website for holiday hours and closures.",
+	"This listing was last verified by our directory team.",
+	"Accepts all major credit cards and contactless payment.",
+	"Members of the local chamber of commerce since 1998.",
+	"Directions: take exit 12 and continue north for two miles.",
+	"The branch offers notary services by appointment.",
+	"Wheelchair accessible entrance on the south side.",
+	"Gift certificates are available at the front desk.",
+	"Catering and group reservations can be arranged by phone.",
+	"Now hiring part-time associates for weekend shifts.",
+}
+
+// sharedFiller appears in both reviews and boilerplate so that the
+// classifier cannot rely on trivially disjoint vocabularies.
+var sharedFiller = []string{
+	"The location is easy to find.",
+	"Street parking can be difficult on weekends.",
+	"They recently renovated the interior.",
+	"The neighborhood has changed a lot over the years.",
+	"You can call ahead to check how busy it is.",
+	"It tends to get crowded around lunchtime.",
+}

@@ -1,0 +1,39 @@
+package valueadd_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/valueadd"
+)
+
+// ExampleAnalyze reproduces the §4.3 computation on a toy inventory:
+// value-add VA(n) = demand · 1/(1+n), averaged per log₂ review bin and
+// normalized by the zero-review bin.
+func ExampleAnalyze() {
+	// Four entities: two unreviewed tail items with demand 2 and 4, two
+	// single-review items with demand 6 and 10.
+	reviews := []int{0, 0, 1, 1}
+	demand := []float64{2, 4, 6, 10}
+
+	bins, err := valueadd.Analyze(reviews, demand, valueadd.InverseLinear{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, b := range bins {
+		fmt.Printf("reviews %-3s entities=%d meanVA=%.2f relVA=%.2f\n",
+			b.Label, b.Entities, b.MeanVA, b.RelVA)
+	}
+	// Output:
+	// reviews 0   entities=2 meanVA=3.00 relVA=1.00
+	// reviews 1   entities=2 meanVA=4.00 relVA=1.33
+}
+
+// ExampleStep shows the alternative I∆ from §4.3.1: a reader consults
+// at most C reviews, so reviews beyond C add nothing.
+func ExampleStep() {
+	m := valueadd.Step{C: 10}
+	fmt.Println(m.Name(), m.Delta(5), m.Delta(10), m.Delta(500))
+	// Output:
+	// step-10 1 0 0
+}

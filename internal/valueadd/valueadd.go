@@ -1,0 +1,128 @@
+// Package valueadd implements §4.3: the value of adding one new review
+// to an entity that already has n reviews. The value-add is
+// VA = demand · I∆(n), where I∆ models the marginal information of the
+// (n+1)-th review; the paper uses the inverse-linear I∆(n) = 1/(1+n)
+// and argues step-function alternatives only strengthen the conclusion.
+// Entities are grouped into log₂ review-count bins (paper footnote 4)
+// and the per-bin average VA(n)/VA(0) is reported (Figure 8), alongside
+// the per-bin average z-scored demand (Figure 7).
+package valueadd
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// InfoModel quantifies the marginal information of one more review for
+// an entity that has n reviews.
+type InfoModel interface {
+	// Delta returns I∆(n) >= 0.
+	Delta(n int) float64
+	// Name identifies the model in outputs.
+	Name() string
+}
+
+// InverseLinear is the paper's I∆(n) = 1/(1+n).
+type InverseLinear struct{}
+
+// Delta returns 1/(1+n).
+func (InverseLinear) Delta(n int) float64 {
+	if n < 0 {
+		n = 0
+	}
+	return 1 / float64(1+n)
+}
+
+// Name implements InfoModel.
+func (InverseLinear) Name() string { return "inverse-linear" }
+
+// Step is the alternative I∆ discussed in §4.3.1: a user reads at most
+// C reviews, so the (n+1)-th review carries information only when n < C.
+type Step struct{ C int }
+
+// Delta returns 1 for n < C and 0 otherwise.
+func (s Step) Delta(n int) float64 {
+	if n < s.C {
+		return 1
+	}
+	return 0
+}
+
+// Name implements InfoModel.
+func (s Step) Name() string { return fmt.Sprintf("step-%d", s.C) }
+
+// BinPoint is one log₂ review-count bin's aggregate.
+type BinPoint struct {
+	Bin        int     // bin index (0 = zero reviews)
+	Label      string  // human-readable review-count range
+	CenterN    float64 // representative review count for plotting
+	Entities   int     // entities in the bin
+	MeanDemand float64 // average demand (raw or normalized, caller's choice)
+	MeanVA     float64 // average demand · I∆(n) over the bin
+	RelVA      float64 // MeanVA / VA(0); 0 when VA(0) is undefined
+}
+
+// MaxBin is the terminal log₂ bin: counts of 512+ land together,
+// mirroring the paper's "entities with 1023 or more reviews form the
+// final group" at our scale.
+const MaxBin = 10
+
+// Analyze groups entities by log₂(reviews) and returns per-bin demand
+// and value-add aggregates. reviews[i] and demand[i] describe entity i.
+// It returns an error when inputs mismatch or are empty.
+func Analyze(reviews []int, demand []float64, model InfoModel) ([]BinPoint, error) {
+	if len(reviews) == 0 {
+		return nil, fmt.Errorf("valueadd: empty input")
+	}
+	if len(reviews) != len(demand) {
+		return nil, fmt.Errorf("valueadd: %d review counts vs %d demands", len(reviews), len(demand))
+	}
+	if model == nil {
+		model = InverseLinear{}
+	}
+	type acc struct {
+		n        int
+		demand   float64
+		va       float64
+		weighted float64 // sum of review counts for center reporting
+	}
+	bins := make([]acc, MaxBin+1)
+	for i, n := range reviews {
+		b := stats.Log2Bin(n, MaxBin)
+		bins[b].n++
+		bins[b].demand += demand[i]
+		bins[b].va += demand[i] * model.Delta(n)
+		bins[b].weighted += float64(n)
+	}
+	var out []BinPoint
+	var va0 float64
+	if bins[0].n > 0 {
+		va0 = bins[0].va / float64(bins[0].n)
+	}
+	for b := 0; b <= MaxBin; b++ {
+		if bins[b].n == 0 {
+			continue
+		}
+		p := BinPoint{
+			Bin:        b,
+			Label:      stats.Log2BinLabel(b, MaxBin),
+			CenterN:    stats.Log2BinCenter(b),
+			Entities:   bins[b].n,
+			MeanDemand: bins[b].demand / float64(bins[b].n),
+			MeanVA:     bins[b].va / float64(bins[b].n),
+		}
+		if va0 > 0 {
+			p.RelVA = p.MeanVA / va0
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// NormalizedDemandByBin is Figure 7: z-score the demand vector within
+// the dataset, then average per log₂ review bin.
+func NormalizedDemandByBin(reviews []int, demand []float64) ([]BinPoint, error) {
+	z := stats.ZScores(demand)
+	return Analyze(reviews, z, InverseLinear{})
+}

@@ -1,0 +1,239 @@
+package valueadd
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/demand"
+	"repro/internal/logs"
+)
+
+func TestInverseLinear(t *testing.T) {
+	m := InverseLinear{}
+	if m.Delta(0) != 1 {
+		t.Errorf("Delta(0) = %v", m.Delta(0))
+	}
+	if m.Delta(1) != 0.5 {
+		t.Errorf("Delta(1) = %v", m.Delta(1))
+	}
+	if m.Delta(99) != 0.01 {
+		t.Errorf("Delta(99) = %v", m.Delta(99))
+	}
+	if m.Delta(-5) != 1 {
+		t.Errorf("negative n should clamp: %v", m.Delta(-5))
+	}
+	if m.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestStep(t *testing.T) {
+	s := Step{C: 10}
+	if s.Delta(9) != 1 || s.Delta(10) != 0 || s.Delta(100) != 0 {
+		t.Error("step model broken")
+	}
+	if s.Name() != "step-10" {
+		t.Errorf("Name = %q", s.Name())
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	if _, err := Analyze(nil, nil, nil); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := Analyze([]int{1}, []float64{1, 2}, nil); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestAnalyzeHandComputed(t *testing.T) {
+	// Two entities with 0 reviews (demand 2, 4), two with 1 review
+	// (demand 6, 10).
+	reviews := []int{0, 0, 1, 1}
+	dem := []float64{2, 4, 6, 10}
+	pts, err := Analyze(reviews, dem, InverseLinear{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("bins = %d, want 2", len(pts))
+	}
+	// Bin 0: VA = mean(2,4) * 1 = 3. Bin 1: VA = mean(6*0.5, 10*0.5) = 4.
+	if pts[0].MeanVA != 3 {
+		t.Errorf("VA(0) = %v", pts[0].MeanVA)
+	}
+	if pts[1].MeanVA != 4 {
+		t.Errorf("VA(1) = %v", pts[1].MeanVA)
+	}
+	if math.Abs(pts[1].RelVA-4.0/3.0) > 1e-12 {
+		t.Errorf("RelVA = %v", pts[1].RelVA)
+	}
+	if pts[0].RelVA != 1 {
+		t.Errorf("RelVA(0) = %v, want 1", pts[0].RelVA)
+	}
+	if pts[0].Entities != 2 || pts[1].Entities != 2 {
+		t.Error("bin sizes wrong")
+	}
+}
+
+func TestAnalyzeNilModelDefaults(t *testing.T) {
+	pts, err := Analyze([]int{0, 1}, []float64{1, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[1].MeanVA != 0.5 {
+		t.Errorf("nil model should default to inverse-linear: %v", pts[1].MeanVA)
+	}
+}
+
+func TestAnalyzeSkipsEmptyBins(t *testing.T) {
+	pts, err := Analyze([]int{0, 600}, []float64{1, 1}, InverseLinear{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("bins = %d, want 2 (0 and terminal)", len(pts))
+	}
+	if pts[1].Bin != MaxBin {
+		t.Errorf("large count bin = %d", pts[1].Bin)
+	}
+	if pts[1].Label == "" || pts[0].Label != "0" {
+		t.Errorf("labels: %q %q", pts[0].Label, pts[1].Label)
+	}
+}
+
+func TestAnalyzeNoZeroBin(t *testing.T) {
+	pts, err := Analyze([]int{1, 2}, []float64{3, 5}, InverseLinear{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.RelVA != 0 {
+			t.Errorf("RelVA should be 0 when VA(0) is undefined, got %v", p.RelVA)
+		}
+	}
+}
+
+func TestNormalizedDemandByBin(t *testing.T) {
+	reviews := []int{0, 0, 5, 5, 100, 100}
+	dem := []float64{1, 3, 10, 14, 50, 70}
+	pts, err := NormalizedDemandByBin(reviews, dem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Z-scored demand must increase with review bin (Fig 7: more
+	// reviews, more demand).
+	for i := 1; i < len(pts); i++ {
+		if pts[i].MeanDemand <= pts[i-1].MeanDemand {
+			t.Errorf("normalized demand not increasing: %+v", pts)
+		}
+	}
+	// Weighted mean of z-scores is 0.
+	var sum float64
+	var n int
+	for _, p := range pts {
+		sum += p.MeanDemand * float64(p.Entities)
+		n += p.Entities
+	}
+	if math.Abs(sum/float64(n)) > 1e-9 {
+		t.Errorf("z-scores should average to 0, got %v", sum/float64(n))
+	}
+}
+
+// TestEndToEndShapeYelpAmazonDecreasing is the §4.3.2 headline: for Yelp
+// and Amazon, VA(n)/VA(0) decreases with n (tail reviews are worth
+// more); content availability outpaces demand toward the head.
+func TestEndToEndShapeYelpAmazonDecreasing(t *testing.T) {
+	for _, site := range []logs.Site{logs.Yelp, logs.Amazon} {
+		cat, err := demand.GenerateCatalog(demand.SiteDefaults(site, 3000, 11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reviews := make([]int, len(cat.Entities))
+		dem := make([]float64, len(cat.Entities))
+		for i, e := range cat.Entities {
+			reviews[i] = e.Reviews
+			dem[i] = cat.LatentDemand(i)
+		}
+		pts, err := Analyze(reviews, dem, InverseLinear{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pts) < 4 {
+			t.Fatalf("%s: only %d bins", site, len(pts))
+		}
+		// Head bins must have materially lower relative VA than VA(0),
+		// and the big-n half of the curve must sit below the small-n half.
+		last := pts[len(pts)-1]
+		if last.RelVA >= 0.8 {
+			t.Errorf("%s: head RelVA = %v, want < 0.8", site, last.RelVA)
+		}
+		mid := len(pts) / 2
+		var lo, hi float64
+		for _, p := range pts[:mid] {
+			lo += p.RelVA
+		}
+		for _, p := range pts[mid:] {
+			hi += p.RelVA
+		}
+		lo /= float64(mid)
+		hi /= float64(len(pts) - mid)
+		if hi >= lo {
+			t.Errorf("%s: RelVA not decreasing overall (front avg %v, back avg %v)", site, lo, hi)
+		}
+	}
+}
+
+// TestEndToEndShapeIMDbHump: IMDb relative VA rises at mid-popularity
+// then falls for the head (§4.3.2, Fig 8c).
+func TestEndToEndShapeIMDbHump(t *testing.T) {
+	cat, err := demand.GenerateCatalog(demand.SiteDefaults(logs.IMDb, 3000, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reviews := make([]int, len(cat.Entities))
+	dem := make([]float64, len(cat.Entities))
+	for i, e := range cat.Entities {
+		reviews[i] = e.Reviews
+		dem[i] = cat.LatentDemand(i)
+	}
+	pts, err := Analyze(reviews, dem, InverseLinear{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the peak relative VA; it must exceed both VA at n=0 and the
+	// final (head) bin, and sit strictly inside the curve.
+	peak, peakIdx := 0.0, -1
+	for i, p := range pts {
+		if p.RelVA > peak {
+			peak, peakIdx = p.RelVA, i
+		}
+	}
+	if peakIdx <= 0 || peakIdx >= len(pts)-1 {
+		t.Fatalf("IMDb peak at index %d of %d; want interior hump (pts %+v)", peakIdx, len(pts), pts)
+	}
+	if peak <= 1.1 {
+		t.Errorf("IMDb peak RelVA = %v, want > 1.1", peak)
+	}
+	if last := pts[len(pts)-1].RelVA; last >= peak {
+		t.Errorf("IMDb head RelVA %v should fall below peak %v", last, peak)
+	}
+}
+
+func TestStepModelStrengthensTailValue(t *testing.T) {
+	// §4.3.1: a step I∆ only strengthens the message — entities beyond
+	// the step get zero marginal value, so relative tail value grows.
+	reviews := []int{0, 0, 50, 50}
+	dem := []float64{1, 1, 20, 20}
+	inv, err := Analyze(reviews, dem, InverseLinear{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, err := Analyze(reviews, dem, Step{C: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step[1].RelVA >= inv[1].RelVA {
+		t.Errorf("step RelVA %v should undercut inverse-linear %v", step[1].RelVA, inv[1].RelVA)
+	}
+}

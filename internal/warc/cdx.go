@@ -1,0 +1,118 @@
+package warc
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CDXEntry is one line of a CDX-style capture index: enough to locate a
+// record in a WARC file by byte offset and to group captures by host.
+type CDXEntry struct {
+	URI    string
+	Host   string
+	Offset int64
+	Length int64
+}
+
+// CDX is an in-memory capture index for one or more WARC files.
+type CDX struct {
+	Entries []CDXEntry
+}
+
+// Add appends one entry.
+func (c *CDX) Add(e CDXEntry) { c.Entries = append(c.Entries, e) }
+
+// ByHost groups entry indices by host.
+func (c *CDX) ByHost() map[string][]int {
+	out := make(map[string][]int)
+	for i, e := range c.Entries {
+		out[e.Host] = append(out[e.Host], i)
+	}
+	return out
+}
+
+// Hosts returns the distinct hosts in the index, sorted.
+func (c *CDX) Hosts() []string {
+	seen := make(map[string]struct{})
+	for _, e := range c.Entries {
+		seen[e.Host] = struct{}{}
+	}
+	hosts := make([]string, 0, len(seen))
+	for h := range seen {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	return hosts
+}
+
+// WriteTo serializes the index as tab-separated lines
+// (uri, host, offset, length), returning bytes written.
+func (c *CDX) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	for _, e := range c.Entries {
+		written, err := fmt.Fprintf(bw, "%s\t%s\t%d\t%d\n", e.URI, e.Host, e.Offset, e.Length)
+		n += int64(written)
+		if err != nil {
+			return n, fmt.Errorf("warc: write cdx: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return n, fmt.Errorf("warc: flush cdx: %w", err)
+	}
+	return n, nil
+}
+
+// ReadCDX parses an index previously produced by WriteTo.
+func ReadCDX(r io.Reader) (*CDX, error) {
+	c := &CDX{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		parts := strings.Split(line, "\t")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("warc: cdx line %d has %d fields", lineNo, len(parts))
+		}
+		off, err := strconv.ParseInt(parts[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("warc: cdx line %d offset: %w", lineNo, err)
+		}
+		length, err := strconv.ParseInt(parts[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("warc: cdx line %d length: %w", lineNo, err)
+		}
+		c.Add(CDXEntry{URI: parts[0], Host: parts[1], Offset: off, Length: length})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("warc: scan cdx: %w", err)
+	}
+	return c, nil
+}
+
+// HostOf extracts the lower-cased host from an absolute URL, dropping
+// any port. It returns "" for unparsable input.
+func HostOf(uri string) string {
+	s := uri
+	if i := strings.Index(s, "://"); i >= 0 {
+		s = s[i+3:]
+	} else {
+		return ""
+	}
+	if i := strings.IndexAny(s, "/?#"); i >= 0 {
+		s = s[:i]
+	}
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		s = s[:i]
+	}
+	return strings.ToLower(s)
+}
