@@ -12,6 +12,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"repro/internal/bootstrap"
@@ -236,6 +237,41 @@ func BenchmarkEndToEndPipeline(b *testing.B) {
 		if _, err := web.ExtractIndexes(nil, 0); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRunAll measures the full reproduction — every table and
+// figure — through the experiment registry, serial (workers=1) vs
+// parallel (workers=GOMAXPROCS). Each iteration builds a fresh Study so
+// the artifact engine's fan-out is what is timed; the parallel/serial
+// ratio is the headline speedup of the concurrent artifact engine.
+func BenchmarkRunAll(b *testing.B) {
+	cfg := core.Config{
+		Seed:            2,
+		Entities:        2000,
+		DirectoryHosts:  3000,
+		CatalogN:        5000,
+		EventsPerSource: 100000,
+	}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0}, // GOMAXPROCS
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := core.NewStudy(cfg)
+				rep, err := s.RunAll(context.Background(), bc.workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rep.Results) != len(core.ExperimentIDs()) {
+					b.Fatal("incomplete run")
+				}
+			}
+		})
 	}
 }
 

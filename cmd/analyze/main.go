@@ -1,13 +1,17 @@
-// Command analyze runs one (or all) of the paper's experiments and
-// emits its data files and a terminal preview.
+// Command analyze runs one, several, or all of the paper's experiments
+// through the concurrent experiment registry and emits their data files
+// and a terminal preview.
 //
 // Usage:
 //
 //	analyze -exp fig1 -scale small -seed 1 -out out/
+//	analyze -exp fig6,fig7,fig8 -workers 8 -out out/
 //	analyze -exp all -scale default -out out/
 //
 // Experiment IDs: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8
-// table2 fig9, or "all".
+// table2 fig9; "all" (or a comma-separated subset) selects several.
+// Artifact builds and analyses fan out across -workers goroutines; the
+// output is identical for every worker count.
 package main
 
 import (
@@ -29,12 +33,12 @@ func main() {
 }
 
 func run() error {
-	exp := flag.String("exp", "all", "experiment id ("+strings.Join(report.Experiments, ", ")+", or all)")
+	exp := flag.String("exp", "all", "experiment ids, comma-separated ("+strings.Join(report.Experiments, ", ")+", or all)")
 	scale := flag.String("scale", "small", "experiment scale: small, default, large")
 	seed := flag.Uint64("seed", 1, "master seed")
 	outDir := flag.String("out", "out", "output directory (empty: terminal only)")
 	extraction := flag.Bool("extraction", false, "build indexes via the full render+parse+extract pipeline instead of direct model decisions")
-	workers := flag.Int("workers", 0, "extraction worker count (0: GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "worker pool size for artifact builds, analyses, extraction and demand shards (0: GOMAXPROCS)")
 	flag.Parse()
 
 	var sc synth.Scale
@@ -57,10 +61,11 @@ func run() error {
 		Workers:        *workers,
 	})
 	if *exp == "all" {
-		return report.RunAll(study, *outDir, os.Stdout)
+		return report.RunAll(study, *outDir, os.Stdout, *workers)
 	}
-	if !report.Valid(*exp) {
-		return fmt.Errorf("unknown experiment %q", *exp)
+	ids := strings.Split(*exp, ",")
+	for i, id := range ids {
+		ids[i] = strings.TrimSpace(id)
 	}
-	return report.Run(study, *exp, *outDir, os.Stdout)
+	return report.RunMany(study, ids, *outDir, os.Stdout, *workers)
 }

@@ -4,9 +4,14 @@
 // and writes all data files plus a shape-check report comparing the
 // measured curves against the paper's qualitative claims.
 //
+// All artifacts are computed through the concurrent experiment
+// registry: synthetic webs, indexes, catalogs and demand simulations
+// fan out across -workers goroutines, and the output is identical for
+// every worker count.
+//
 // Usage:
 //
-//	webrepro -scale default -seed 1 -out out/
+//	webrepro -scale default -seed 1 -workers 0 -out out/
 package main
 
 import (
@@ -36,6 +41,7 @@ func run() error {
 	seed := flag.Uint64("seed", 1, "master seed")
 	outDir := flag.String("out", "out", "output directory")
 	extraction := flag.Bool("extraction", false, "use the full render+parse+extract pipeline")
+	workers := flag.Int("workers", 0, "worker pool size for artifact builds and analyses (0: GOMAXPROCS)")
 	flag.Parse()
 
 	var sc synth.Scale
@@ -55,10 +61,11 @@ func run() error {
 		DirectoryHosts: sc.DirectoryHosts,
 		CatalogN:       sc.Entities,
 		UseExtraction:  *extraction,
+		Workers:        *workers,
 	})
 
 	start := time.Now()
-	if err := report.RunAll(study, *outDir, os.Stdout); err != nil {
+	if err := report.RunAll(study, *outDir, os.Stdout, *workers); err != nil {
 		return err
 	}
 	fmt.Printf("\nall experiments done in %v; data under %s/\n", time.Since(start).Round(time.Millisecond), *outDir)

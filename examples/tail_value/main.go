@@ -20,18 +20,14 @@ func main() {
 			log.Fatal(err)
 		}
 		// Simulate raw click logs and aggregate unique cookies, exactly
-		// as the §4.1 methodology prescribes.
-		agg := demand.NewAggregator(cat)
-		clicks := 0
-		err = demand.Simulate(cat, demand.SimConfig{
+		// as the §4.1 methodology prescribes. The aggregation fans out
+		// across per-entity shard workers; the result is identical to a
+		// serial fold for any shard count.
+		agg, err := demand.SimulateParallel(cat, demand.SimConfig{
 			Events:  120000,
 			Cookies: 25000,
 			Seed:    uint64(len(site)),
-		}, func(c logs.Click) error {
-			clicks++
-			agg.Add(c)
-			return nil
-		})
+		}, 0)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -40,8 +36,8 @@ func main() {
 		// Demand concentration (Fig 6): share of the top 20% of
 		// inventory.
 		fmt.Printf("== %s ==\n", site)
-		fmt.Printf("  %d clicks simulated; top-20%% of inventory carries %.0f%% of search demand\n",
-			clicks, 100*demand.TopShare(vec, 0.2))
+		fmt.Printf("  %d shards aggregated; top-20%% of inventory carries %.0f%% of search demand\n",
+			agg.Shards(), 100*demand.TopShare(vec, 0.2))
 
 		// Value-add (Fig 8), conditioned on entities with traffic as the
 		// paper's log-sampled inventory implies.

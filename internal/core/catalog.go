@@ -1,0 +1,30 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/demand"
+	"repro/internal/logs"
+)
+
+// Catalog returns the demand catalog for one §4 site. Distinct sites
+// build concurrently.
+func (s *Study) Catalog(site logs.Site) (*demand.Catalog, error) {
+	return s.catalogs.Get(site, func() (*demand.Catalog, error) {
+		s.builds.catalogs.Add(1)
+		cat, err := demand.GenerateCatalog(demand.SiteDefaults(site, s.cfg.CatalogN, s.cfg.Seed^siteSalt(site)))
+		if err != nil {
+			return nil, fmt.Errorf("core: generate catalog for %s: %w", site, err)
+		}
+		return cat, nil
+	})
+}
+
+func siteSalt(site logs.Site) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(site); i++ {
+		h ^= uint64(site[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,25 +1,44 @@
 // Package core is the public façade of the reproduction: a Study wires
 // the synthetic-web, extraction, demand and analysis substrates together
-// and exposes one method per paper artifact (Figures 1–9, Tables 1–2).
+// and exposes one method per paper artifact (Figures 1–9, Tables 1–2),
+// plus an experiment registry that runs them all concurrently.
 //
-// A Study lazily builds and caches the expensive artifacts (synthetic
-// webs, entity–host indexes, demand aggregates) so running all
-// experiments touches each substrate once. Every result is deterministic
-// in the Study's seed.
+// A Study is a concurrent artifact engine. Each expensive artifact
+// class (synthetic webs, entity–host indexes, demand catalogs, demand
+// aggregates, the review classifier) lives in its own per-key memo
+// cache (internal/memo) with singleflight semantics: the first caller
+// for a key builds it, duplicate callers block on the in-flight build,
+// and callers for distinct keys — different domains, different sites —
+// build in parallel. There is no global lock; all Study methods are
+// safe for arbitrary concurrent use.
+//
+// The experiment registry (registry.go) names every paper artifact as a
+// unit and Study.RunAll fans them — and the artifact builds underneath
+// them — across a bounded worker pool, so one call reproduces the whole
+// paper while saturating the machine. Every result is deterministic in
+// the Study's seed regardless of worker count: artifact builders derive
+// independent RNG streams from (seed, key) salts, so build order and
+// interleaving never influence output.
 package core
 
 import (
-	"fmt"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/classify"
 	"repro/internal/demand"
 	"repro/internal/entity"
-	"repro/internal/extract"
+	"repro/internal/graph"
 	"repro/internal/index"
 	"repro/internal/logs"
+	"repro/internal/memo"
 	"repro/internal/synth"
 )
+
+// graphKey identifies one cached entity–site graph.
+type graphKey struct {
+	d entity.Domain
+	a entity.Attr
+}
 
 // Config sizes a Study. Zero values take defaults scaled for a laptop
 // run of every experiment in minutes.
@@ -37,7 +56,9 @@ type Config struct {
 	// build indexes; false uses the model's direct decisions (identical
 	// output, no HTML work — see synth.DirectIndexes).
 	UseExtraction bool
-	// Workers bounds extraction concurrency (<= 0: GOMAXPROCS).
+	// Workers bounds intra-artifact concurrency: extraction workers and
+	// demand-aggregation shards (<= 0: GOMAXPROCS). Results do not
+	// depend on it.
 	Workers int
 }
 
@@ -57,193 +78,50 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Study runs the paper's experiments over one configuration.
+// Study runs the paper's experiments over one configuration. All
+// methods are safe for concurrent use; each artifact key is built
+// exactly once.
 type Study struct {
 	cfg Config
 
-	mu       sync.Mutex
-	webs     map[entity.Domain]*synth.Web
-	indexes  map[entity.Domain]map[entity.Attr]*index.Index
-	catalogs map[logs.Site]*demand.Catalog
-	demands  map[logs.Site]map[logs.Source][]demand.Estimate
-	reviewNB *classify.NaiveBayes
+	webs     memo.Map[entity.Domain, *synth.Web]
+	indexes  memo.Map[entity.Domain, map[entity.Attr]*index.Index]
+	catalogs memo.Map[logs.Site, *demand.Catalog]
+	demands  memo.Map[logs.Site, map[logs.Source][]demand.Estimate]
+	graphs   memo.Map[graphKey, *graph.Bipartite]
+	reviewNB memo.Cell[*classify.NaiveBayes]
+
+	builds buildCounters
+}
+
+// buildCounters tracks how many times each artifact class ran its
+// builder — observability for the singleflight guarantee.
+type buildCounters struct {
+	webs, indexes, catalogs, demands, graphs, classifiers atomic.Int64
+}
+
+// BuildStats is a snapshot of per-class artifact build counts. Under
+// memoization each key builds exactly once, however many goroutines ask.
+type BuildStats struct {
+	Webs, Indexes, Catalogs, Demands, Graphs, Classifiers int
+}
+
+// BuildStats reports how many artifact builders have run so far.
+func (s *Study) BuildStats() BuildStats {
+	return BuildStats{
+		Webs:        int(s.builds.webs.Load()),
+		Indexes:     int(s.builds.indexes.Load()),
+		Catalogs:    int(s.builds.catalogs.Load()),
+		Demands:     int(s.builds.demands.Load()),
+		Graphs:      int(s.builds.graphs.Load()),
+		Classifiers: int(s.builds.classifiers.Load()),
+	}
 }
 
 // NewStudy returns a Study over cfg.
 func NewStudy(cfg Config) *Study {
-	return &Study{
-		cfg:      cfg.withDefaults(),
-		webs:     make(map[entity.Domain]*synth.Web),
-		indexes:  make(map[entity.Domain]map[entity.Attr]*index.Index),
-		catalogs: make(map[logs.Site]*demand.Catalog),
-		demands:  make(map[logs.Site]map[logs.Source][]demand.Estimate),
-	}
+	return &Study{cfg: cfg.withDefaults()}
 }
 
 // Config returns the resolved configuration.
 func (s *Study) Config() Config { return s.cfg }
-
-// Web returns (building if needed) the synthetic web for a domain.
-func (s *Study) Web(d entity.Domain) (*synth.Web, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.webLocked(d)
-}
-
-func (s *Study) webLocked(d entity.Domain) (*synth.Web, error) {
-	if w, ok := s.webs[d]; ok {
-		return w, nil
-	}
-	w, err := synth.Generate(synth.Config{
-		Domain:         d,
-		Entities:       s.cfg.Entities,
-		DirectoryHosts: s.cfg.DirectoryHosts,
-		Seed:           s.cfg.Seed ^ domainSalt(d),
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: generate web for %s: %w", d, err)
-	}
-	s.webs[d] = w
-	return w, nil
-}
-
-// domainSalt decorrelates per-domain generation under one master seed.
-func domainSalt(d entity.Domain) uint64 {
-	var h uint64 = 1469598103934665603
-	for i := 0; i < len(d); i++ {
-		h ^= uint64(d[i])
-		h *= 1099511628211
-	}
-	return h
-}
-
-// ReviewClassifier returns the trained review classifier, training it on
-// first use from the restaurants web's labeled page generator.
-func (s *Study) ReviewClassifier() (*classify.NaiveBayes, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.reviewClassifierLocked()
-}
-
-func (s *Study) reviewClassifierLocked() (*classify.NaiveBayes, error) {
-	if s.reviewNB != nil {
-		return s.reviewNB, nil
-	}
-	w, err := s.webLocked(entity.Restaurants)
-	if err != nil {
-		return nil, err
-	}
-	pages, labels := w.TrainingPages(400, s.cfg.Seed^0xc1a551f7)
-	nb, err := extract.TrainReviewClassifier(pages, labels)
-	if err != nil {
-		return nil, fmt.Errorf("core: train review classifier: %w", err)
-	}
-	s.reviewNB = nb
-	return nb, nil
-}
-
-// Indexes returns the per-attribute entity–host indexes for a domain,
-// built by the configured pipeline (direct or full extraction).
-func (s *Study) Indexes(d entity.Domain) (map[entity.Attr]*index.Index, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if idx, ok := s.indexes[d]; ok {
-		return idx, nil
-	}
-	w, err := s.webLocked(d)
-	if err != nil {
-		return nil, err
-	}
-	var idxs map[entity.Attr]*index.Index
-	if s.cfg.UseExtraction {
-		var nb *classify.NaiveBayes
-		if d == entity.Restaurants {
-			nb, err = s.reviewClassifierLocked()
-			if err != nil {
-				return nil, err
-			}
-		}
-		idxs, err = w.ExtractIndexes(nb, s.cfg.Workers)
-		if err != nil {
-			return nil, fmt.Errorf("core: extract indexes for %s: %w", d, err)
-		}
-	} else {
-		idxs = w.DirectIndexes()
-	}
-	s.indexes[d] = idxs
-	return idxs, nil
-}
-
-// Index returns one (domain, attribute) index, erroring if the attribute
-// is not studied for the domain.
-func (s *Study) Index(d entity.Domain, a entity.Attr) (*index.Index, error) {
-	idxs, err := s.Indexes(d)
-	if err != nil {
-		return nil, err
-	}
-	idx, ok := idxs[a]
-	if !ok {
-		return nil, fmt.Errorf("core: attribute %s not studied for domain %s", a, d)
-	}
-	return idx, nil
-}
-
-// Catalog returns the demand catalog for one §4 site.
-func (s *Study) Catalog(site logs.Site) (*demand.Catalog, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.catalogLocked(site)
-}
-
-func (s *Study) catalogLocked(site logs.Site) (*demand.Catalog, error) {
-	if c, ok := s.catalogs[site]; ok {
-		return c, nil
-	}
-	cat, err := demand.GenerateCatalog(demand.SiteDefaults(site, s.cfg.CatalogN, s.cfg.Seed^siteSalt(site)))
-	if err != nil {
-		return nil, fmt.Errorf("core: generate catalog for %s: %w", site, err)
-	}
-	s.catalogs[site] = cat
-	return cat, nil
-}
-
-func siteSalt(site logs.Site) uint64 {
-	var h uint64 = 14695981039346656037
-	for i := 0; i < len(site); i++ {
-		h ^= uint64(site[i])
-		h *= 1099511628211
-	}
-	return h
-}
-
-// Demand returns per-entity demand estimates for one site, simulating
-// and aggregating its click logs on first use.
-func (s *Study) Demand(site logs.Site) (map[logs.Source][]demand.Estimate, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if d, ok := s.demands[site]; ok {
-		return d, nil
-	}
-	cat, err := s.catalogLocked(site)
-	if err != nil {
-		return nil, err
-	}
-	agg := demand.NewAggregator(cat)
-	err = demand.Simulate(cat, demand.SimConfig{
-		Events:  s.cfg.EventsPerSource,
-		Cookies: 4 * s.cfg.CatalogN,
-		Seed:    s.cfg.Seed ^ siteSalt(site) ^ 0x51b,
-	}, func(c logs.Click) error {
-		agg.Add(c)
-		return nil
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: simulate demand for %s: %w", site, err)
-	}
-	out := map[logs.Source][]demand.Estimate{
-		logs.Search: agg.Demand(logs.Search),
-		logs.Browse: agg.Demand(logs.Browse),
-	}
-	s.demands[site] = out
-	return out, nil
-}

@@ -1,0 +1,36 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/demand"
+	"repro/internal/logs"
+)
+
+// Demand returns per-entity demand estimates for one site, simulating
+// its click logs and aggregating them across cfg.Workers shard workers
+// on first use. The sharded aggregation is exactly equivalent to the
+// serial fold (clicks are routed to shards by entity, and per-entity
+// aggregation is order-independent), so results do not depend on the
+// worker count. Distinct sites build concurrently.
+func (s *Study) Demand(site logs.Site) (map[logs.Source][]demand.Estimate, error) {
+	return s.demands.Get(site, func() (map[logs.Source][]demand.Estimate, error) {
+		s.builds.demands.Add(1)
+		cat, err := s.Catalog(site)
+		if err != nil {
+			return nil, err
+		}
+		agg, err := demand.SimulateParallel(cat, demand.SimConfig{
+			Events:  s.cfg.EventsPerSource,
+			Cookies: 4 * s.cfg.CatalogN,
+			Seed:    s.cfg.Seed ^ siteSalt(site) ^ 0x51b,
+		}, s.cfg.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("core: simulate demand for %s: %w", site, err)
+		}
+		return map[logs.Source][]demand.Estimate{
+			logs.Search: agg.Demand(logs.Search),
+			logs.Browse: agg.Demand(logs.Browse),
+		}, nil
+	})
+}

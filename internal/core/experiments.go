@@ -90,6 +90,26 @@ func (s *Study) Fig4b() (coverage.AggregateCurve, error) {
 	return curve, nil
 }
 
+// Fig4Result bundles both panels of Figure 4: the per-entity k-coverage
+// curves (a) and the aggregate review-page coverage (b).
+type Fig4Result struct {
+	A *SpreadResult
+	B coverage.AggregateCurve
+}
+
+// Fig4 computes both Figure 4 panels.
+func (s *Study) Fig4() (*Fig4Result, error) {
+	a, err := s.Fig4a()
+	if err != nil {
+		return nil, err
+	}
+	b, err := s.Fig4b()
+	if err != nil {
+		return nil, err
+	}
+	return &Fig4Result{A: a, B: b}, nil
+}
+
 // Fig5Result compares the size ordering against greedy set cover for
 // restaurant homepages (Figure 5).
 type Fig5Result struct {
@@ -279,17 +299,24 @@ func (s *Study) Table2() ([]Table2Row, error) {
 	return out, nil
 }
 
-// Graph builds the bipartite entity–site graph for one (domain, attr).
+// Graph returns (building and caching if needed) the bipartite
+// entity–site graph for one (domain, attr). Graphs are immutable after
+// construction — every analysis allocates its own scratch — so Table 2
+// and Figure 9 share one cached instance per pair even when they run
+// concurrently.
 func (s *Study) Graph(d entity.Domain, a entity.Attr) (*graph.Bipartite, error) {
-	idx, err := s.Index(d, a)
-	if err != nil {
-		return nil, err
-	}
-	g, err := graph.FromIndex(idx)
-	if err != nil {
-		return nil, fmt.Errorf("core: graph for %s/%s: %w", d, a, err)
-	}
-	return g, nil
+	return s.graphs.Get(graphKey{d, a}, func() (*graph.Bipartite, error) {
+		s.builds.graphs.Add(1)
+		idx, err := s.Index(d, a)
+		if err != nil {
+			return nil, err
+		}
+		g, err := graph.FromIndex(idx)
+		if err != nil {
+			return nil, fmt.Errorf("core: graph for %s/%s: %w", d, a, err)
+		}
+		return g, nil
+	})
 }
 
 // Fig9Result is the robustness curve of one (domain, attribute):

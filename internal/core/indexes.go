@@ -1,0 +1,51 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/classify"
+	"repro/internal/entity"
+	"repro/internal/index"
+)
+
+// Indexes returns the per-attribute entity–host indexes for a domain,
+// built by the configured pipeline (direct or full extraction).
+// Distinct domains build concurrently.
+func (s *Study) Indexes(d entity.Domain) (map[entity.Attr]*index.Index, error) {
+	return s.indexes.Get(d, func() (map[entity.Attr]*index.Index, error) {
+		s.builds.indexes.Add(1)
+		w, err := s.Web(d)
+		if err != nil {
+			return nil, err
+		}
+		if !s.cfg.UseExtraction {
+			return w.DirectIndexes(), nil
+		}
+		var nb *classify.NaiveBayes
+		if d == entity.Restaurants {
+			nb, err = s.ReviewClassifier()
+			if err != nil {
+				return nil, err
+			}
+		}
+		idxs, err := w.ExtractIndexes(nb, s.cfg.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("core: extract indexes for %s: %w", d, err)
+		}
+		return idxs, nil
+	})
+}
+
+// Index returns one (domain, attribute) index, erroring if the attribute
+// is not studied for the domain.
+func (s *Study) Index(d entity.Domain, a entity.Attr) (*index.Index, error) {
+	idxs, err := s.Indexes(d)
+	if err != nil {
+		return nil, err
+	}
+	idx, ok := idxs[a]
+	if !ok {
+		return nil, fmt.Errorf("core: attribute %s not studied for domain %s", a, d)
+	}
+	return idx, nil
+}

@@ -1,0 +1,72 @@
+package demand
+
+import (
+	"testing"
+
+	"repro/internal/logs"
+)
+
+// TestSimulateParallelMatchesSerial is the sharding correctness
+// contract: for any shard count, the merged estimates equal the serial
+// single-aggregator fold of the same simulated stream, exactly.
+func TestSimulateParallelMatchesSerial(t *testing.T) {
+	cat := testCatalog(t, logs.Amazon, 300)
+	cfg := SimConfig{Events: 30000, Cookies: 6000, Seed: 9}
+
+	serial := NewAggregator(cat)
+	if err := Simulate(cat, cfg, func(c logs.Click) error {
+		serial.Add(c)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, shards := range []int{1, 2, 3, 8, 16} {
+		sa, err := SimulateParallel(cat, cfg, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sa.Shards() != shards {
+			t.Fatalf("shards = %d, want %d", sa.Shards(), shards)
+		}
+		for _, src := range []logs.Source{logs.Search, logs.Browse} {
+			want := serial.Demand(src)
+			got := sa.Demand(src)
+			if len(got) != len(want) {
+				t.Fatalf("shards=%d %s: %d estimates, want %d", shards, src, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("shards=%d %s entity %d: %+v, want %+v", shards, src, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestShardRoutingIsStable(t *testing.T) {
+	cat := testCatalog(t, logs.Yelp, 100)
+	sa := NewShardedAggregator(cat, 7)
+	for _, e := range cat.Entities {
+		c := logs.Click{Source: logs.Search, URL: e.URL}
+		first := sa.ShardOf(c)
+		for i := 0; i < 3; i++ {
+			if sa.ShardOf(c) != first {
+				t.Fatalf("routing for %q not stable", e.URL)
+			}
+		}
+		if first < 0 || first >= sa.Shards() {
+			t.Fatalf("shard %d out of range", first)
+		}
+	}
+}
+
+func TestNewShardedAggregatorClampsShards(t *testing.T) {
+	cat := testCatalog(t, logs.Yelp, 10)
+	if got := NewShardedAggregator(cat, 0).Shards(); got != 1 {
+		t.Errorf("shards=0 clamped to %d, want 1", got)
+	}
+	if got := NewShardedAggregator(cat, -4).Shards(); got != 1 {
+		t.Errorf("shards=-4 clamped to %d, want 1", got)
+	}
+}

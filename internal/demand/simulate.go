@@ -116,17 +116,20 @@ type entityAgg struct {
 
 // NewAggregator returns an Aggregator for cat.
 func NewAggregator(cat *Catalog) *Aggregator {
+	return newAggregator(cat.ByKey(), cat.Site, len(cat.Entities))
+}
+
+// newAggregator shares a prebuilt key lookup — ShardedAggregator builds
+// it once for all shards. Cookie sets are allocated lazily on first
+// click so empty shards cost nothing.
+func newAggregator(byKey map[string]int, site logs.Site, n int) *Aggregator {
 	a := &Aggregator{
-		byKey:  cat.ByKey(),
-		site:   cat.Site,
+		byKey:  byKey,
+		site:   site,
 		perSrc: make(map[logs.Source][]entityAgg, 2),
 	}
 	for _, s := range []logs.Source{logs.Search, logs.Browse} {
-		aggs := make([]entityAgg, len(cat.Entities))
-		for i := range aggs {
-			aggs[i].cookies = make(map[uint64]struct{})
-		}
-		a.perSrc[s] = aggs
+		a.perSrc[s] = make([]entityAgg, n)
 	}
 	return a
 }
@@ -147,6 +150,9 @@ func (a *Aggregator) Add(c logs.Click) {
 		return
 	}
 	aggs[id].visits++
+	if aggs[id].cookies == nil {
+		aggs[id].cookies = make(map[uint64]struct{}, 4)
+	}
 	aggs[id].cookies[c.Cookie] = struct{}{}
 }
 

@@ -1,0 +1,109 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// Alias is a Walker/Vose alias table: O(n) construction, O(1) sampling
+// from an arbitrary discrete distribution. It is immutable after
+// construction and safe for concurrent Sample calls (each with its own
+// RNG).
+type Alias struct {
+	prob  []float64
+	alias []int32
+}
+
+// NewAlias builds an alias table over weights. Weights must be finite
+// and non-negative with a positive sum.
+func NewAlias(weights []float64) (*Alias, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("dist: alias over empty weights")
+	}
+	var sum float64
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("dist: alias weight %d = %v invalid", i, w)
+		}
+		sum += w
+	}
+	if !(sum > 0) {
+		return nil, fmt.Errorf("dist: alias weights sum to %v, need > 0", sum)
+	}
+
+	a := &Alias{prob: make([]float64, n), alias: make([]int32, n)}
+	// Scaled probabilities; partition into under- and over-full columns.
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / sum
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			large = large[:len(large)-1]
+			small = append(small, l)
+		}
+	}
+	// Leftovers are full columns (up to float rounding).
+	for _, i := range large {
+		a.prob[i] = 1
+	}
+	for _, i := range small {
+		a.prob[i] = 1
+	}
+	return a, nil
+}
+
+// N returns the support size.
+func (a *Alias) N() int { return len(a.prob) }
+
+// Sample draws one index according to the weights.
+func (a *Alias) Sample(rng *RNG) int {
+	i := rng.Intn(len(a.prob))
+	if rng.Float64() < a.prob[i] {
+		return i
+	}
+	return int(a.alias[i])
+}
+
+// SampleDistinct draws k distinct indices by rejection. When k reaches
+// the support size it returns every index. Intended for k well below n
+// (the synthetic-web generator switches to a Bernoulli scan above
+// n/10); worst-case cost grows as k approaches n.
+func (a *Alias) SampleDistinct(rng *RNG, k int) []int {
+	n := len(a.prob)
+	if k >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	if k <= 0 {
+		return nil
+	}
+	out := make([]int, 0, k)
+	seen := make(map[int]struct{}, k)
+	for len(out) < k {
+		i := a.Sample(rng)
+		if _, dup := seen[i]; dup {
+			continue
+		}
+		seen[i] = struct{}{}
+		out = append(out, i)
+	}
+	return out
+}

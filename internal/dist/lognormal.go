@@ -1,0 +1,29 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// LogNormal samples exp(N(mu, sigma^2)) — the multiplicative noise the
+// catalog and review generators apply to power-law means.
+type LogNormal struct {
+	mu, sigma float64
+}
+
+// NewLogNormal returns a log-normal sampler. sigma must be positive and
+// finite; mu must be finite.
+func NewLogNormal(mu, sigma float64) (*LogNormal, error) {
+	if math.IsNaN(mu) || math.IsInf(mu, 0) {
+		return nil, fmt.Errorf("dist: lognormal mu %v not finite", mu)
+	}
+	if !(sigma > 0) || math.IsInf(sigma, 0) {
+		return nil, fmt.Errorf("dist: lognormal sigma %v must be positive and finite", sigma)
+	}
+	return &LogNormal{mu: mu, sigma: sigma}, nil
+}
+
+// Sample draws one value using rng.
+func (ln *LogNormal) Sample(rng *RNG) float64 {
+	return math.Exp(ln.mu + ln.sigma*rng.NormFloat64())
+}

@@ -1,0 +1,53 @@
+package dist
+
+import "math"
+
+// Poisson draws a Poisson(mean) count. Non-positive (or NaN) means
+// yield 0. Small means use Knuth's product-of-uniforms; large means use
+// Hörmann's PTRS transformed rejection, so the cost is O(1) in the
+// mean.
+func Poisson(rng *RNG, mean float64) int {
+	if !(mean > 0) {
+		return 0
+	}
+	if mean < 30 {
+		l := math.Exp(-mean)
+		k := 0
+		p := 1.0
+		for {
+			p *= rng.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	return poissonPTRS(rng, mean)
+}
+
+// poissonPTRS is Hörmann's PTRS algorithm (W. Hörmann, "The transformed
+// rejection method for generating Poisson random variables", 1993),
+// valid for mean >= 10.
+func poissonPTRS(rng *RNG, mean float64) int {
+	b := 0.931 + 2.53*math.Sqrt(mean)
+	a := -0.059 + 0.02483*b
+	invAlpha := 1.1239 + 1.1328/(b-3.4)
+	vr := 0.9277 - 3.6224/(b-2)
+	logMean := math.Log(mean)
+	for {
+		u := rng.Float64() - 0.5
+		v := rng.Float64()
+		us := 0.5 - math.Abs(u)
+		kf := math.Floor((2*a/us+b)*u + mean + 0.43)
+		if us >= 0.07 && v <= vr {
+			return int(kf)
+		}
+		if kf < 0 || (us < 0.013 && v > us) {
+			continue
+		}
+		lg, _ := math.Lgamma(kf + 1)
+		if math.Log(v*invAlpha/(a/(us*us)+b)) <= kf*logMean-mean-lg {
+			return int(kf)
+		}
+	}
+}

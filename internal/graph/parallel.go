@@ -3,6 +3,7 @@ package graph
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // DiameterParallel computes the exact diameter of the largest component
@@ -30,15 +31,17 @@ func (g *Bipartite) DiameterParallel(c Components, workers int) int {
 		workers = len(sources)
 	}
 
+	// Lock-free work stealing: the shared cursor is a single atomic,
+	// and each worker keeps a private maximum merged at join, so the
+	// hot loop has no lock traffic at all.
 	var (
-		wg   sync.WaitGroup
-		next int64 // shared cursor into sources, accessed under mu
-		mu   sync.Mutex
-		max  int
+		wg     sync.WaitGroup
+		next   atomic.Int64 // shared cursor into sources
+		maxima = make([]int, workers)
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			// Per-worker scratch: dist array reset via touched list.
 			dist := make([]int32, len(g.adj))
@@ -48,10 +51,7 @@ func (g *Bipartite) DiameterParallel(c Components, workers int) int {
 			queue := make([]int32, 0, len(g.adj))
 			localMax := 0
 			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
+				i := next.Add(1) - 1
 				if int(i) >= len(sources) {
 					break
 				}
@@ -63,13 +63,15 @@ func (g *Bipartite) DiameterParallel(c Components, workers int) int {
 					dist[v] = -1
 				}
 			}
-			mu.Lock()
-			if localMax > max {
-				max = localMax
-			}
-			mu.Unlock()
-		}()
+			maxima[w] = localMax
+		}(w)
 	}
 	wg.Wait()
+	max := 0
+	for _, m := range maxima {
+		if m > max {
+			max = m
+		}
+	}
 	return max
 }

@@ -1,0 +1,114 @@
+// Package memo provides per-key memoization with singleflight
+// semantics: the first caller for a key runs the builder, concurrent
+// callers for distinct keys build in parallel, duplicate callers block
+// until the in-flight build finishes and share its result. Successful
+// results are cached forever; failed builds are forgotten so a later
+// caller can retry.
+//
+// This is the concurrency primitive behind core.Study's artifact
+// caches: it replaces a single coarse mutex (which serialized every
+// artifact build) with per-key coordination, so independent artifacts
+// saturate all cores while each key is still built exactly once.
+package memo
+
+import (
+	"fmt"
+	"sync"
+)
+
+// entry is one key's build slot. done is closed when the build
+// finishes; val/err are written exactly once before the close.
+type entry[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Map memoizes values by key. The zero value is ready to use. Map must
+// not be copied after first use.
+type Map[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*entry[V]
+}
+
+// Get returns the cached value for key, building it with build on first
+// use. Concurrent Gets for the same key run build once and share its
+// result; Gets for distinct keys run concurrently. If build fails (or
+// panics) the key is cleared so a subsequent Get retries.
+//
+// build runs outside the Map's lock: it may Get other keys from this or
+// other Maps, as long as the dependency graph is acyclic. A cycle
+// deadlocks just as it would with any lock hierarchy.
+func (m *Map[K, V]) Get(key K, build func() (V, error)) (V, error) {
+	m.mu.Lock()
+	if m.m == nil {
+		m.m = make(map[K]*entry[V])
+	}
+	if e, ok := m.m[key]; ok {
+		m.mu.Unlock()
+		<-e.done
+		return e.val, e.err
+	}
+	e := &entry[V]{done: make(chan struct{})}
+	m.m[key] = e
+	m.mu.Unlock()
+
+	finished := false
+	defer func() {
+		if finished {
+			return
+		}
+		// build panicked: clear the slot and wake waiters with an error
+		// before the panic unwinds, so they don't block forever.
+		m.mu.Lock()
+		delete(m.m, key)
+		m.mu.Unlock()
+		e.err = fmt.Errorf("memo: build for key %v panicked", key)
+		close(e.done)
+	}()
+	e.val, e.err = build()
+	finished = true
+	if e.err != nil {
+		m.mu.Lock()
+		delete(m.m, key)
+		m.mu.Unlock()
+	}
+	close(e.done)
+	return e.val, e.err
+}
+
+// Cached returns the value for key if a successful build has completed,
+// without triggering or waiting for one.
+func (m *Map[K, V]) Cached(key K) (V, bool) {
+	m.mu.Lock()
+	e, ok := m.m[key]
+	m.mu.Unlock()
+	if !ok {
+		return *new(V), false
+	}
+	select {
+	case <-e.done:
+		return e.val, e.err == nil
+	default:
+		return *new(V), false
+	}
+}
+
+// Len returns the number of cached or in-flight keys.
+func (m *Map[K, V]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.m)
+}
+
+// Cell memoizes a single value: a Map with one implicit key. The zero
+// value is ready to use.
+type Cell[V any] struct {
+	m Map[struct{}, V]
+}
+
+// Get returns the cached value, building it on first use with the same
+// singleflight semantics as Map.Get.
+func (c *Cell[V]) Get(build func() (V, error)) (V, error) {
+	return c.m.Get(struct{}{}, build)
+}

@@ -4,12 +4,14 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/coverage"
@@ -17,20 +19,14 @@ import (
 	"repro/internal/plot"
 )
 
-// Experiments lists the runnable experiment IDs in paper order.
-var Experiments = []string{
-	"table1", "fig1", "fig2", "fig3", "fig4", "fig5",
-	"fig6", "fig7", "fig8", "table2", "fig9",
-}
+// Experiments lists the runnable experiment IDs in paper order,
+// mirroring the core experiment registry.
+var Experiments = core.ExperimentIDs()
 
 // Valid reports whether id names a known experiment.
 func Valid(id string) bool {
-	for _, e := range Experiments {
-		if e == id {
-			return true
-		}
-	}
-	return false
+	_, ok := core.LookupExperiment(id)
+	return ok
 }
 
 // Run executes one experiment, writes its data files under outDir, and
@@ -41,42 +37,94 @@ func Run(s *core.Study, id, outDir string, w io.Writer) error {
 			return fmt.Errorf("report: create %s: %w", outDir, err)
 		}
 	}
+	e, ok := core.LookupExperiment(id)
+	if !ok {
+		return fmt.Errorf("report: unknown experiment %q (known: %s)", id, strings.Join(Experiments, ", "))
+	}
+	v, err := e.Run(s)
+	if err != nil {
+		return err
+	}
+	return render(id, v, outDir, w)
+}
+
+// render writes one experiment's already-computed value. The type
+// switch mirrors the registry's Run return types.
+func render(id string, v any, outDir string, w io.Writer) error {
 	switch id {
 	case "table1":
-		return table1(s, outDir, w)
+		return table1(v.([]core.Table1Row), outDir, w)
 	case "fig1":
-		return spreadFigure(s, outDir, w, "fig1", entity.AttrPhone)
+		return spreadFigure(v.([]*core.SpreadResult), outDir, w, "fig1", entity.AttrPhone)
 	case "fig2":
-		return spreadFigure(s, outDir, w, "fig2", entity.AttrHomepage)
+		return spreadFigure(v.([]*core.SpreadResult), outDir, w, "fig2", entity.AttrHomepage)
 	case "fig3":
-		return fig3(s, outDir, w)
+		return fig3(v.(*core.SpreadResult), outDir, w)
 	case "fig4":
-		return fig4(s, outDir, w)
+		return fig4(v.(*core.Fig4Result), outDir, w)
 	case "fig5":
-		return fig5(s, outDir, w)
+		return fig5(v.(*core.Fig5Result), outDir, w)
 	case "fig6":
-		return fig6(s, outDir, w)
+		return fig6(v.([]*core.Fig6Result), outDir, w)
 	case "fig7":
-		return fig78(s, outDir, w, true)
+		return fig78(v.([]*core.Fig78Result), outDir, w, true)
 	case "fig8":
-		return fig78(s, outDir, w, false)
+		return fig78(v.([]*core.Fig78Result), outDir, w, false)
 	case "table2":
-		return table2(s, outDir, w)
+		return table2(v.([]core.Table2Row), outDir, w)
 	case "fig9":
-		return fig9(s, outDir, w)
+		return fig9(v.([]*core.Fig9Result), outDir, w)
 	default:
-		return fmt.Errorf("report: unknown experiment %q (known: %s)", id, strings.Join(Experiments, ", "))
+		return fmt.Errorf("report: no renderer for experiment %q", id)
 	}
 }
 
-// RunAll executes every experiment in paper order.
-func RunAll(s *core.Study, outDir string, w io.Writer) error {
-	for _, id := range Experiments {
-		if err := Run(s, id, outDir, w); err != nil {
+// RunAll computes every experiment through the core registry — fanning
+// artifact builds and analyses across workers goroutines (<= 0:
+// GOMAXPROCS) — prints the pipeline timing summary, then renders the
+// computed results in paper order. Each analysis runs exactly once;
+// output is byte-identical to a serial run for the same seed.
+func RunAll(s *core.Study, outDir string, w io.Writer, workers int) error {
+	return RunMany(s, Experiments, outDir, w, workers)
+}
+
+// RunMany is RunAll restricted to the named experiments.
+func RunMany(s *core.Study, ids []string, outDir string, w io.Writer, workers int) error {
+	for _, id := range ids {
+		if !Valid(id) {
+			return fmt.Errorf("report: unknown experiment %q (known: %s)", id, strings.Join(Experiments, ", "))
+		}
+	}
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return fmt.Errorf("report: create %s: %w", outDir, err)
+		}
+	}
+	rep, err := s.RunExperiments(context.Background(), ids, workers)
+	if err != nil {
+		return err
+	}
+	writeTimings(w, rep)
+	for i, id := range ids {
+		if err := render(id, rep.Results[i].Value, outDir, w); err != nil {
 			return fmt.Errorf("report: experiment %s: %w", id, err)
 		}
 	}
 	return nil
+}
+
+// writeTimings summarizes one registry run: per-artifact build cost and
+// per-experiment analysis cost.
+func writeTimings(w io.Writer, rep *core.RunReport) {
+	fmt.Fprintf(w, "== Pipeline: %d artifacts, %d experiments, %v wall clock ==\n",
+		len(rep.Artifacts), len(rep.Results), rep.Elapsed.Round(time.Millisecond))
+	for _, a := range rep.Artifacts {
+		fmt.Fprintf(w, "  build %-32s %8v\n", a.Name, a.Elapsed.Round(time.Millisecond))
+	}
+	for _, r := range rep.Results {
+		fmt.Fprintf(w, "  run   %-32s %8v\n", r.ID, r.Elapsed.Round(time.Millisecond))
+	}
+	fmt.Fprintln(w)
 }
 
 // writeFile writes one data file under outDir (skipped when outDir is
@@ -97,8 +145,7 @@ func writeFile(outDir, name string, write func(io.Writer) error) error {
 	return f.Close()
 }
 
-func table1(s *core.Study, outDir string, w io.Writer) error {
-	rows := s.Table1()
+func table1(rows []core.Table1Row, outDir string, w io.Writer) error {
 	render := func(out io.Writer) error {
 		fmt.Fprintf(out, "%-20s %s\n", "Domain", "Attributes")
 		for _, r := range rows {
@@ -130,17 +177,7 @@ func curvesToSeries(curves []coverage.Curve) []plot.Series {
 	return out
 }
 
-func spreadFigure(s *core.Study, outDir string, w io.Writer, figID string, attr entity.Attr) error {
-	var results []*core.SpreadResult
-	var err error
-	if figID == "fig1" {
-		results, err = s.Fig1()
-	} else {
-		results, err = s.Fig2()
-	}
-	if err != nil {
-		return err
-	}
+func spreadFigure(results []*core.SpreadResult, outDir string, w io.Writer, figID string, attr entity.Attr) error {
 	fmt.Fprintf(w, "== %s: Spread of %s Attribute ==\n", strings.ToUpper(figID[:1])+figID[1:], attr)
 	for _, r := range results {
 		series := curvesToSeries(r.Curves)
@@ -159,11 +196,7 @@ func spreadFigure(s *core.Study, outDir string, w io.Writer, figID string, attr 
 	return nil
 }
 
-func fig3(s *core.Study, outDir string, w io.Writer) error {
-	r, err := s.Fig3()
-	if err != nil {
-		return err
-	}
+func fig3(r *core.SpreadResult, outDir string, w io.Writer) error {
 	series := curvesToSeries(r.Curves)
 	if err := writeFile(outDir, "fig3_books_isbn.tsv", func(out io.Writer) error {
 		return plot.WriteTSV(out, series...)
@@ -176,19 +209,12 @@ func fig3(s *core.Study, outDir string, w io.Writer) error {
 	return nil
 }
 
-func fig4(s *core.Study, outDir string, w io.Writer) error {
-	a, err := s.Fig4a()
-	if err != nil {
-		return err
-	}
+func fig4(r *core.Fig4Result, outDir string, w io.Writer) error {
+	a, b := r.A, r.B
 	series := curvesToSeries(a.Curves)
 	if err := writeFile(outDir, "fig4a_restaurant_reviews.tsv", func(out io.Writer) error {
 		return plot.WriteTSV(out, series...)
 	}); err != nil {
-		return err
-	}
-	b, err := s.Fig4b()
-	if err != nil {
 		return err
 	}
 	bx := make([]float64, len(b.T))
@@ -210,11 +236,7 @@ func fig4(s *core.Study, outDir string, w io.Writer) error {
 	return nil
 }
 
-func fig5(s *core.Study, outDir string, w io.Writer) error {
-	r, err := s.Fig5()
-	if err != nil {
-		return err
-	}
+func fig5(r *core.Fig5Result, outDir string, w io.Writer) error {
 	toSeries := func(name string, c coverage.Curve) plot.Series {
 		x := make([]float64, len(c.T))
 		for i, t := range c.T {
@@ -235,11 +257,7 @@ func fig5(s *core.Study, outDir string, w io.Writer) error {
 	return nil
 }
 
-func fig6(s *core.Study, outDir string, w io.Writer) error {
-	rs, err := s.Fig6()
-	if err != nil {
-		return err
-	}
+func fig6(rs []*core.Fig6Result, outDir string, w io.Writer) error {
 	fmt.Fprintln(w, "== Fig 6: The long tail of demand ==")
 	bySrc := map[string][]plot.Series{}
 	for _, r := range rs {
@@ -272,18 +290,10 @@ func fig6(s *core.Study, outDir string, w io.Writer) error {
 	return nil
 }
 
-func fig78(s *core.Study, outDir string, w io.Writer, normalized bool) error {
-	var rs []*core.Fig78Result
-	var err error
+func fig78(rs []*core.Fig78Result, outDir string, w io.Writer, normalized bool) error {
 	figID := "fig8"
 	if normalized {
 		figID = "fig7"
-		rs, err = s.Fig7()
-	} else {
-		rs, err = s.Fig8()
-	}
-	if err != nil {
-		return err
 	}
 	if normalized {
 		fmt.Fprintln(w, "== Fig 7: Normalized demand vs number of existing reviews ==")
@@ -326,11 +336,7 @@ func fig78(s *core.Study, outDir string, w io.Writer, normalized bool) error {
 	return nil
 }
 
-func table2(s *core.Study, outDir string, w io.Writer) error {
-	rows, err := s.Table2()
-	if err != nil {
-		return err
-	}
+func table2(rows []core.Table2Row, outDir string, w io.Writer) error {
 	render := func(out io.Writer) error {
 		fmt.Fprintf(out, "%-12s %-10s %10s %9s %11s %14s\n",
 			"Domain", "Attr", "Avg#sites", "diameter", "#conn.comp.", "%ent.largest")
@@ -347,11 +353,7 @@ func table2(s *core.Study, outDir string, w io.Writer) error {
 	return writeFile(outDir, "table2.txt", render)
 }
 
-func fig9(s *core.Study, outDir string, w io.Writer) error {
-	rs, err := s.Fig9()
-	if err != nil {
-		return err
-	}
+func fig9(rs []*core.Fig9Result, outDir string, w io.Writer) error {
 	fmt.Fprintln(w, "== Fig 9: Robustness after removing top-k sites ==")
 	byAttr := map[entity.Attr][]plot.Series{}
 	for _, r := range rs {

@@ -40,7 +40,7 @@ func TestRunUnknown(t *testing.T) {
 func TestRunAllWritesFiles(t *testing.T) {
 	dir := t.TempDir()
 	var out bytes.Buffer
-	if err := RunAll(testStudy(), dir, &out); err != nil {
+	if err := RunAll(testStudy(), dir, &out, 0); err != nil {
 		t.Fatal(err)
 	}
 	// Every experiment must leave at least one file and print a header.
@@ -71,11 +71,29 @@ func TestRunAllWritesFiles(t *testing.T) {
 	}
 	text := out.String()
 	for _, header := range []string{
+		"Pipeline:", "build index/restaurants", "build demand/yelp", "run   table2",
 		"Table 1", "Fig 3", "Fig 4", "Fig 5", "Fig 6", "Fig 7", "Fig 8", "Table 2", "Fig 9",
 	} {
 		if !strings.Contains(text, header) {
 			t.Errorf("summary missing %q", header)
 		}
+	}
+}
+
+func TestRunManySubset(t *testing.T) {
+	var out bytes.Buffer
+	if err := RunMany(testStudy(), []string{"table1", "fig3"}, "", &out, 2); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "Table 1") || !strings.Contains(text, "Fig 3") {
+		t.Errorf("subset output incomplete:\n%s", text)
+	}
+	if strings.Contains(text, "Fig 5") {
+		t.Error("unselected experiment rendered")
+	}
+	if err := RunMany(testStudy(), []string{"fig99"}, "", &out, 1); err == nil {
+		t.Error("unknown id should fail")
 	}
 }
 
