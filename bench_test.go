@@ -13,6 +13,8 @@ package repro
 import (
 	"bytes"
 	"context"
+	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/bootstrap"
@@ -270,6 +272,112 @@ func BenchmarkRunAll(b *testing.B) {
 				if len(rep.Results) != len(core.ExperimentIDs()) {
 					b.Fatal("incomplete run")
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkGenerate measures the §4 demand workload end to end under
+// three architectures: the serial producer folding into one Aggregator,
+// the serial producer feeding sharded aggregation (SimulateParallel,
+// PR 1), and the fully parallel pipeline (GeneratePipeline, this PR) at
+// 1/2/4/8 generator workers. The pipeline rows beating both serial rows
+// from gen=4 up is the headline of the parallel-generation change.
+func BenchmarkGenerate(b *testing.B) {
+	cat, err := benchStudy.Catalog(logs.Amazon)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := demand.SimConfig{Events: 200000, Cookies: 30000, Seed: 7}
+	events := func(b *testing.B) { b.SetBytes(int64(2 * cfg.Events)) }
+
+	b.Run("serial", func(b *testing.B) {
+		events(b)
+		for i := 0; i < b.N; i++ {
+			agg := demand.NewAggregator(cat)
+			if err := demand.Simulate(cat, cfg, func(c logs.Click) error {
+				agg.Add(c)
+				return nil
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("serialgen-shardedagg", func(b *testing.B) {
+		events(b)
+		for i := 0; i < b.N; i++ {
+			if _, err := demand.SimulateParallel(cat, cfg, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, gens := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("pipeline/gen=%d", gens), func(b *testing.B) {
+			events(b)
+			for i := 0; i < b.N; i++ {
+				if _, err := demand.GeneratePipeline(cat, cfg, demand.PipelineConfig{
+					Generators: gens, Shards: 4,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGenerateOnly isolates click synthesis (no aggregation):
+// serial Simulate against SimulateRange leapfrog-fanned across N
+// goroutines — the raw throughput the stream-splitting scheme unlocks.
+func BenchmarkGenerateOnly(b *testing.B) {
+	cat, err := benchStudy.Catalog(logs.Amazon)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := demand.SimConfig{Events: 200000, Cookies: 30000, Seed: 7}
+	events := func(b *testing.B) { b.SetBytes(int64(2 * cfg.Events)) }
+
+	b.Run("serial", func(b *testing.B) {
+		events(b)
+		for i := 0; i < b.N; i++ {
+			n := 0
+			if err := demand.Simulate(cat, cfg, func(logs.Click) error {
+				n++
+				return nil
+			}); err != nil {
+				b.Fatal(err)
+			}
+			if n != 2*cfg.Events {
+				b.Fatal("short stream")
+			}
+		}
+	})
+	for _, workers := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("range=%d", workers), func(b *testing.B) {
+			events(b)
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				chunk := (cfg.Events + workers - 1) / workers
+				for _, src := range []logs.Source{logs.Search, logs.Browse} {
+					for w := 0; w < workers; w++ {
+						lo := w * chunk
+						hi := lo + chunk
+						if hi > cfg.Events {
+							hi = cfg.Events
+						}
+						if lo >= hi {
+							continue
+						}
+						wg.Add(1)
+						go func(src logs.Source, lo, hi int) {
+							defer wg.Done()
+							if err := demand.SimulateRange(cat, cfg, src, lo, hi,
+								func(logs.Click) error { return nil }); err != nil {
+								b.Error(err)
+							}
+						}(src, lo, hi)
+					}
+				}
+				wg.Wait()
 			}
 		})
 	}

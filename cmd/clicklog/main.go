@@ -2,14 +2,17 @@
 // files, exercising the same TSV click-log format end to end that the
 // in-memory pipeline uses.
 //
-// Generate a year of search+browse traffic for one site:
+// Generate a year of search+browse traffic for one site (clicks are
+// synthesized by -gen parallel workers over leapfrog RNG substreams and
+// written in canonical stream order, so the file is byte-identical for
+// any worker count):
 //
-//	clicklog gen -site yelp -n 5000 -events 200000 -seed 1 -out clicks.tsv
+//	clicklog gen -site yelp -n 5000 -events 200000 -seed 1 -gen 8 -out clicks.tsv
 //
-// Aggregate a log back into per-entity demand and print the demand
-// distribution summary:
+// Aggregate a log back into per-entity demand across -shards concurrent
+// shard workers and print the demand distribution summary:
 //
-//	clicklog agg -site yelp -n 5000 -seed 1 -in clicks.tsv
+//	clicklog agg -site yelp -n 5000 -seed 1 -shards 8 -in clicks.tsv
 //
 // The (site, n, seed) triple must match between gen and agg so the
 // catalog (and its URL keys) regenerates identically.
@@ -20,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"repro/internal/demand"
 	"repro/internal/logs"
@@ -61,6 +65,7 @@ func runGen(args []string) error {
 	events := fs.Int("events", 0, "clicks per source (0: 40x catalog)")
 	cookies := fs.Int("cookies", 0, "cookie population (0: 8x catalog)")
 	seed := fs.Uint64("seed", 1, "seed")
+	gen := fs.Int("gen", 0, "generator workers (0: all cores)")
 	out := fs.String("out", "clicks.tsv", "output log path")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,9 +81,9 @@ func runGen(args []string) error {
 	defer f.Close()
 	w := logs.NewWriter(f)
 	count := 0
-	err = demand.Simulate(cat, demand.SimConfig{
+	err = demand.GenerateOrdered(cat, demand.SimConfig{
 		Events: *events, Cookies: *cookies, Seed: *seed ^ 0x51b,
-	}, func(c logs.Click) error {
+	}, demand.PipelineConfig{Generators: *gen}, func(c logs.Click) error {
 		count++
 		return w.Write(c)
 	})
@@ -100,9 +105,13 @@ func runAgg(args []string) error {
 	site := fs.String("site", "yelp", "site: amazon, yelp, imdb")
 	n := fs.Int("n", 5000, "catalog size (must match gen)")
 	seed := fs.Uint64("seed", 1, "seed (must match gen)")
+	shards := fs.Int("shards", 0, "aggregation shard workers (0: all cores)")
 	in := fs.String("in", "clicks.tsv", "input log path")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *shards <= 0 {
+		*shards = runtime.GOMAXPROCS(0)
 	}
 	cat, err := catalogFor(*site, *n, *seed)
 	if err != nil {
@@ -113,7 +122,8 @@ func runAgg(args []string) error {
 		return fmt.Errorf("open %s: %w", *in, err)
 	}
 	defer f.Close()
-	agg := demand.NewAggregator(cat)
+	agg := demand.NewShardedAggregator(cat, *shards)
+	emit, done := agg.Feed()
 	r := logs.NewReader(f)
 	lines := 0
 	for {
@@ -122,12 +132,14 @@ func runAgg(args []string) error {
 			break
 		}
 		if err != nil {
+			done()
 			return err
 		}
 		lines++
-		agg.Add(c)
+		emit(c)
 	}
-	fmt.Printf("aggregated %d clicks from %s\n\n", lines, *in)
+	done()
+	fmt.Printf("aggregated %d clicks from %s across %d shards\n\n", lines, *in, agg.Shards())
 	for _, src := range []logs.Source{logs.Search, logs.Browse} {
 		vec := demand.UniqueVector(agg.Demand(src))
 		top20 := demand.TopShare(vec, 0.2)

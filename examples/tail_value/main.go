@@ -20,14 +20,16 @@ func main() {
 			log.Fatal(err)
 		}
 		// Simulate raw click logs and aggregate unique cookies, exactly
-		// as the §4.1 methodology prescribes. The aggregation fans out
-		// across per-entity shard workers; the result is identical to a
-		// serial fold for any shard count.
-		agg, err := demand.SimulateParallel(cat, demand.SimConfig{
+		// as the §4.1 methodology prescribes. The demand pipeline runs
+		// generation, routing and aggregation fully concurrently —
+		// generator workers synthesize leapfrog RNG substreams and fan
+		// them into per-entity shard workers — and the result is
+		// identical to a serial fold for any worker count.
+		agg, err := demand.GeneratePipeline(cat, demand.SimConfig{
 			Events:  120000,
 			Cookies: 25000,
 			Seed:    uint64(len(site)),
-		}, 0)
+		}, demand.PipelineConfig{})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -57,8 +57,8 @@ type Config struct {
 	// output, no HTML work — see synth.DirectIndexes).
 	UseExtraction bool
 	// Workers bounds intra-artifact concurrency: extraction workers and
-	// demand-aggregation shards (<= 0: GOMAXPROCS). Results do not
-	// depend on it.
+	// the demand pipeline's generator workers and aggregation shards
+	// (<= 0: GOMAXPROCS). Results do not depend on it.
 	Workers int
 }
 

@@ -7,12 +7,14 @@ import (
 	"repro/internal/logs"
 )
 
-// Demand returns per-entity demand estimates for one site, simulating
-// its click logs and aggregating them across cfg.Workers shard workers
-// on first use. The sharded aggregation is exactly equivalent to the
-// serial fold (clicks are routed to shards by entity, and per-entity
-// aggregation is order-independent), so results do not depend on the
-// worker count. Distinct sites build concurrently.
+// Demand returns per-entity demand estimates for one site, running the
+// demand pipeline on first use: cfg.Workers generator workers simulate
+// the click streams as leapfrog RNG substreams and fan them directly
+// into cfg.Workers entity-hash shard workers — generation, routing and
+// aggregation all concurrent, no serial stage. The result is
+// byte-identical to the serial simulate-and-fold for any worker count
+// (windows are exact sub-ranges of the same streams; per-entity
+// aggregation is order-independent). Distinct sites build concurrently.
 func (s *Study) Demand(site logs.Site) (map[logs.Source][]demand.Estimate, error) {
 	return s.demands.Get(site, func() (map[logs.Source][]demand.Estimate, error) {
 		s.builds.demands.Add(1)
@@ -20,11 +22,14 @@ func (s *Study) Demand(site logs.Site) (map[logs.Source][]demand.Estimate, error
 		if err != nil {
 			return nil, err
 		}
-		agg, err := demand.SimulateParallel(cat, demand.SimConfig{
+		agg, err := demand.GeneratePipeline(cat, demand.SimConfig{
 			Events:  s.cfg.EventsPerSource,
 			Cookies: 4 * s.cfg.CatalogN,
 			Seed:    s.cfg.Seed ^ siteSalt(site) ^ 0x51b,
-		}, s.cfg.Workers)
+		}, demand.PipelineConfig{
+			Generators: s.cfg.Workers,
+			Shards:     s.cfg.Workers,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("core: simulate demand for %s: %w", site, err)
 		}

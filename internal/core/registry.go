@@ -42,7 +42,9 @@ func indexArtifact(d entity.Domain) Artifact {
 	}
 }
 
-// demandArtifact warms one site's catalog and simulated demand.
+// demandArtifact warms one site's catalog and simulated demand via the
+// fully concurrent demand pipeline (generation → routing → aggregation,
+// see demand.GeneratePipeline).
 func demandArtifact(site logs.Site) Artifact {
 	return Artifact{
 		Name:  "demand/" + string(site),

@@ -195,6 +195,46 @@ func TestUniqueCookieSaturation(t *testing.T) {
 	}
 }
 
+func TestWithSimDefaultsBrowseHeadBias(t *testing.T) {
+	// nil takes the default; an explicit value — including zero — is
+	// preserved (the boundary the old float64 field could not express).
+	if got := withSimDefaults(SimConfig{}, 10); *got.BrowseHeadBias != defaultBrowseHeadBias {
+		t.Errorf("nil bias defaulted to %v, want %v", *got.BrowseHeadBias, defaultBrowseHeadBias)
+	}
+	if got := withSimDefaults(SimConfig{BrowseHeadBias: Bias(0)}, 10); *got.BrowseHeadBias != 0 {
+		t.Errorf("explicit zero bias overwritten to %v", *got.BrowseHeadBias)
+	}
+	if got := withSimDefaults(SimConfig{BrowseHeadBias: Bias(0.6)}, 10); *got.BrowseHeadBias != 0.6 {
+		t.Errorf("explicit bias overwritten to %v", *got.BrowseHeadBias)
+	}
+}
+
+func TestBrowseHeadBiasShapesBrowseTraffic(t *testing.T) {
+	// Behavioral boundary: with Bias(0) the browse stream samples from
+	// the untilted demand weights, so the head entity's browse share
+	// must be measurably below the share under a strong bias — and the
+	// zero setting must differ from the default (proving the explicit
+	// zero is honored, not replaced by 0.15).
+	cat := testCatalog(t, logs.Yelp, 100)
+	headVisits := func(bias *float64) int {
+		agg := NewAggregator(cat)
+		if err := Simulate(cat, SimConfig{
+			Events: 30000, Cookies: 5000, Seed: 11, BrowseHeadBias: bias,
+		}, func(c logs.Click) error {
+			agg.Add(c)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return agg.Demand(logs.Browse)[0].Visits
+	}
+	zero, def, strong := headVisits(Bias(0)), headVisits(nil), headVisits(Bias(2.0))
+	if !(zero < def && def < strong) {
+		t.Errorf("head browse visits not ordered by bias: zero=%d default=%d strong=%d",
+			zero, def, strong)
+	}
+}
+
 func TestUniqueVector(t *testing.T) {
 	v := UniqueVector([]Estimate{{UniqueCookies: 3}, {UniqueCookies: 0}, {UniqueCookies: 7}})
 	if len(v) != 3 || v[0] != 3 || v[2] != 7 {

@@ -1,0 +1,227 @@
+package demand
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/logs"
+)
+
+// DefaultWindow is the number of events one generation window covers.
+// A window is the unit of generator parallelism: large enough that a
+// worker amortizes its RNG jump and channel traffic over thousands of
+// events, small enough that windows vastly outnumber workers and the
+// work balances. Output never depends on the window size.
+const DefaultWindow = 2048
+
+// PipelineConfig sizes the demand pipeline's worker fleet. The zero
+// value is fully usable: all knobs default.
+type PipelineConfig struct {
+	// Generators is the click-generation worker count (<= 0: GOMAXPROCS).
+	Generators int
+	// Shards is the aggregation shard count (<= 0: GOMAXPROCS).
+	Shards int
+	// Window is the events-per-window generation granularity
+	// (<= 0: DefaultWindow).
+	Window int
+	// Tap, when non-nil, observes every generated window: the source,
+	// the 0-based window index within that source, and the window's
+	// clicks in stream order. It is called concurrently from generator
+	// workers (synchronize externally) and must not mutate or retain
+	// the slice.
+	Tap func(source logs.Source, window int, clicks []logs.Click)
+}
+
+func (p PipelineConfig) withDefaults() PipelineConfig {
+	if p.Generators <= 0 {
+		p.Generators = runtime.GOMAXPROCS(0)
+	}
+	if p.Shards <= 0 {
+		p.Shards = runtime.GOMAXPROCS(0)
+	}
+	if p.Window <= 0 {
+		p.Window = DefaultWindow
+	}
+	return p
+}
+
+// genWindow is one unit of generation work: events [lo, hi) of one
+// source's stream. seq is the window's position in the canonical full
+// stream (all search windows in index order, then all browse windows).
+type genWindow struct {
+	seq    int
+	source logs.Source
+	index  int // window index within the source
+	lo, hi int
+}
+
+// genWindows partitions both source streams into windows in canonical
+// order.
+func genWindows(events, window int) []genWindow {
+	var out []genWindow
+	seq := 0
+	for _, src := range sources {
+		for w, lo := 0, 0; lo < events; w, lo = w+1, lo+window {
+			hi := lo + window
+			if hi > events {
+				hi = events
+			}
+			out = append(out, genWindow{seq: seq, source: src, index: w, lo: lo, hi: hi})
+			seq++
+		}
+	}
+	return out
+}
+
+// runGenerators fans the window list across p.Generators workers. Each
+// worker calls newHandler once to get its private (handle, flush) pair:
+// handle receives every window the worker generates (a freshly
+// allocated slice the handler may keep), flush runs at worker exit.
+// Workers skip remaining windows once stop is set (nil: never stop).
+// The returned error is a sampler-construction failure; generation
+// itself cannot fail.
+func runGenerators(cat *Catalog, cfg SimConfig, p PipelineConfig, stop *atomic.Bool,
+	newHandler func() (handle func(genWindow, []logs.Click), flush func())) error {
+	samplers := make(map[logs.Source]*sourceSampler, len(sources))
+	for _, src := range sources {
+		sp, err := newSourceSampler(cat, cfg, src)
+		if err != nil {
+			return err
+		}
+		samplers[src] = sp
+	}
+	work := make(chan genWindow)
+	var wg sync.WaitGroup
+	for w := 0; w < p.Generators; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			handle, flush := newHandler()
+			defer flush()
+			for gw := range work {
+				if stop != nil && stop.Load() {
+					continue
+				}
+				clicks := make([]logs.Click, 0, gw.hi-gw.lo)
+				// The no-error emit only appends, so generate cannot fail.
+				_ = samplers[gw.source].generate(gw.lo, gw.hi, func(c logs.Click) error {
+					clicks = append(clicks, c)
+					return nil
+				})
+				if p.Tap != nil {
+					p.Tap(gw.source, gw.index, clicks)
+				}
+				handle(gw, clicks)
+			}
+		}()
+	}
+	for _, gw := range genWindows(cfg.Events, p.Window) {
+		work <- gw
+	}
+	close(work)
+	wg.Wait()
+	return nil
+}
+
+// GeneratePipeline simulates the click streams for cat and folds them
+// into a ShardedAggregator with no serial stage anywhere: per-window
+// generator workers synthesize clicks (leapfrog RNG substreams, see
+// internal/dist) and fan them directly into entity-hash shard workers,
+// so generation, routing and aggregation all run concurrently. For a
+// fixed seed the merged result is byte-identical to serial Simulate +
+// Aggregator.Add — and to SimulateParallel — for every
+// (Generators, Shards, Window) setting: windows are exact sub-ranges of
+// the same per-source streams, routing is a pure function of the click,
+// and per-entity aggregation is order-independent.
+func GeneratePipeline(cat *Catalog, cfg SimConfig, p PipelineConfig) (*ShardedAggregator, error) {
+	if len(cat.Entities) == 0 {
+		return nil, fmt.Errorf("demand: empty catalog")
+	}
+	cfg = withSimDefaults(cfg, len(cat.Entities))
+	p = p.withDefaults()
+	sa := NewShardedAggregator(cat, p.Shards)
+	chans, wait := sa.startWorkers(8)
+	err := runGenerators(cat, cfg, p, nil, func() (func(genWindow, []logs.Click), func()) {
+		r := sa.newRouter(chans)
+		handle := func(_ genWindow, clicks []logs.Click) {
+			for _, c := range clicks {
+				r.emit(c)
+			}
+		}
+		return handle, r.flush
+	})
+	for i := range chans {
+		close(chans[i])
+	}
+	wait()
+	if err != nil {
+		return nil, err
+	}
+	return sa, nil
+}
+
+// GenerateOrdered simulates the click streams for cat with parallel
+// per-window generator workers but delivers them to emit from a single
+// goroutine in canonical stream order — exactly the sequence Simulate
+// produces — for consumers that need an ordered stream (log files,
+// canonical hashing). A reorder buffer holds windows that finish ahead
+// of their turn; its size is bounded by the workers' window skew. An
+// emit error stops generation promptly and is returned. p.Shards is
+// unused here; Tap fires as in GeneratePipeline.
+func GenerateOrdered(cat *Catalog, cfg SimConfig, p PipelineConfig, emit func(logs.Click) error) error {
+	if len(cat.Entities) == 0 {
+		return fmt.Errorf("demand: empty catalog")
+	}
+	cfg = withSimDefaults(cfg, len(cat.Entities))
+	p = p.withDefaults()
+
+	type seqBatch struct {
+		seq    int
+		clicks []logs.Click
+	}
+	out := make(chan seqBatch, p.Generators)
+	var stop atomic.Bool
+	var emitErr error
+	var consumer sync.WaitGroup
+	consumer.Add(1)
+	go func() {
+		defer consumer.Done()
+		next := 0
+		held := make(map[int][]logs.Click)
+		for b := range out {
+			held[b.seq] = b.clicks
+			for {
+				clicks, ok := held[next]
+				if !ok {
+					break
+				}
+				delete(held, next)
+				next++
+				if emitErr != nil {
+					continue // drain without emitting
+				}
+				for _, c := range clicks {
+					if err := emit(c); err != nil {
+						emitErr = fmt.Errorf("demand: emit click: %w", err)
+						stop.Store(true)
+						break
+					}
+				}
+			}
+		}
+	}()
+	err := runGenerators(cat, cfg, p, &stop, func() (func(genWindow, []logs.Click), func()) {
+		handle := func(gw genWindow, clicks []logs.Click) {
+			out <- seqBatch{seq: gw.seq, clicks: clicks}
+		}
+		return handle, func() {}
+	})
+	close(out)
+	consumer.Wait()
+	if err != nil {
+		return err
+	}
+	return emitErr
+}

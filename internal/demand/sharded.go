@@ -49,7 +49,7 @@ func (sa *ShardedAggregator) ShardOf(c logs.Click) int {
 
 // Add folds one click into its owning shard. Safe to call concurrently
 // only for clicks that route to different shards; use Feed (or
-// SimulateParallel) for the general concurrent case.
+// GeneratePipeline) for the general concurrent case.
 func (sa *ShardedAggregator) Add(c logs.Click) {
 	sa.shards[sa.ShardOf(c)].Add(c)
 }
@@ -67,20 +67,20 @@ func (sa *ShardedAggregator) Demand(source logs.Source) []Estimate {
 	return out
 }
 
-// feedBatch is the unit sent to shard workers: routing click-by-click
-// over a channel would pay one synchronization per event, batching
+// feedBatchSize is the unit sent to shard workers: routing a click at a
+// time over a channel would pay one synchronization per event; batching
 // amortizes it ~2 orders of magnitude.
 const feedBatchSize = 512
 
-// Feed starts one worker per shard and returns an emit function that
-// routes clicks to them, plus a close function that flushes and joins
-// the workers. Intended usage is SimulateParallel; exposed for callers
-// with their own click sources (log replay, network ingest).
-func (sa *ShardedAggregator) Feed() (emit func(logs.Click), done func()) {
-	chans := make([]chan []logs.Click, len(sa.shards))
+// startWorkers launches one goroutine per shard, each folding batches
+// from its channel into its own Aggregator. Channels are multi-producer
+// safe, so any number of routers may send concurrently. The caller must
+// close every channel and then call wait.
+func (sa *ShardedAggregator) startWorkers(buffer int) (chans []chan []logs.Click, wait func()) {
+	chans = make([]chan []logs.Click, len(sa.shards))
 	var wg sync.WaitGroup
 	for i := range sa.shards {
-		chans[i] = make(chan []logs.Click, 8)
+		chans[i] = make(chan []logs.Click, buffer)
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
@@ -91,31 +91,68 @@ func (sa *ShardedAggregator) Feed() (emit func(logs.Click), done func()) {
 			}
 		}(i)
 	}
-	pending := make([][]logs.Click, len(sa.shards))
-	emit = func(c logs.Click) {
-		i := sa.ShardOf(c)
-		pending[i] = append(pending[i], c)
-		if len(pending[i]) >= feedBatchSize {
-			chans[i] <- pending[i]
-			pending[i] = make([]logs.Click, 0, feedBatchSize)
+	return chans, wg.Wait
+}
+
+// router batches clicks per shard for ONE producer goroutine. Multiple
+// producers each get their own router over the same shard channels;
+// only the channel sends synchronize.
+type router struct {
+	sa      *ShardedAggregator
+	chans   []chan []logs.Click
+	pending [][]logs.Click
+}
+
+func (sa *ShardedAggregator) newRouter(chans []chan []logs.Click) *router {
+	return &router{sa: sa, chans: chans, pending: make([][]logs.Click, len(chans))}
+}
+
+// emit routes one click to its shard's pending batch, flushing the
+// batch when full.
+func (r *router) emit(c logs.Click) {
+	i := r.sa.ShardOf(c)
+	r.pending[i] = append(r.pending[i], c)
+	if len(r.pending[i]) >= feedBatchSize {
+		r.chans[i] <- r.pending[i]
+		r.pending[i] = make([]logs.Click, 0, feedBatchSize)
+	}
+}
+
+// flush sends every non-empty pending batch.
+func (r *router) flush() {
+	for i, batch := range r.pending {
+		if len(batch) > 0 {
+			r.chans[i] <- batch
+			r.pending[i] = nil
 		}
 	}
+}
+
+// Feed starts one worker per shard and returns an emit function that
+// routes clicks to them, plus a close function that flushes and joins
+// the workers. emit is for a single producer goroutine; concurrent
+// producers should use GeneratePipeline (simulated streams) or
+// startWorkers-style fan-in with one router each. Exposed for callers
+// with their own serial click sources (log replay, network ingest).
+func (sa *ShardedAggregator) Feed() (emit func(logs.Click), done func()) {
+	chans, wait := sa.startWorkers(8)
+	r := sa.newRouter(chans)
 	done = func() {
-		for i, batch := range pending {
-			if len(batch) > 0 {
-				chans[i] <- batch
-			}
+		r.flush()
+		for i := range chans {
 			close(chans[i])
 		}
-		wg.Wait()
+		wait()
 	}
-	return emit, done
+	return r.emit, done
 }
 
 // SimulateParallel simulates the click streams for cat (identically to
 // Simulate) and aggregates them across `shards` concurrent shard
-// workers (<= 0: GOMAXPROCS). For a fixed seed the result is identical
-// to serial Simulate + Aggregator.Add whatever the shard count.
+// workers (<= 0: GOMAXPROCS). Generation stays a serial producer here;
+// GeneratePipeline parallelizes that stage too. For a fixed seed the
+// result is identical to serial Simulate + Aggregator.Add — and to
+// GeneratePipeline — whatever the shard count.
 func SimulateParallel(cat *Catalog, cfg SimConfig, shards int) (*ShardedAggregator, error) {
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)

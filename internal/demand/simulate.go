@@ -8,6 +8,15 @@ import (
 	"repro/internal/logs"
 )
 
+// sources lists the two traffic streams every simulation generates, in
+// canonical order: the full click stream is the search stream followed
+// by the browse stream.
+var sources = []logs.Source{logs.Search, logs.Browse}
+
+// defaultBrowseHeadBias is the browse-traffic demand tilt applied when
+// SimConfig.BrowseHeadBias is nil.
+const defaultBrowseHeadBias = 0.15
+
 // SimConfig controls click-log simulation for one catalog.
 type SimConfig struct {
 	// Events is the number of clicks to generate per source.
@@ -19,10 +28,16 @@ type SimConfig struct {
 	// BrowseHeadBias is added to the demand exponent for browse traffic:
 	// browse patterns are shaped by on-site promotion of popular items
 	// (§4.1), so browse demand is more head-concentrated than search.
-	BrowseHeadBias float64
+	// nil selects the default (0.15); use Bias to set an explicit value,
+	// including zero (browse demand shaped exactly like search).
+	BrowseHeadBias *float64
 }
 
-// withSimDefaults fills zero fields.
+// Bias wraps an explicit browse-head-bias value for SimConfig, making
+// an explicit zero distinguishable from "use the default".
+func Bias(v float64) *float64 { return &v }
+
+// withSimDefaults fills zero (or nil) fields.
 func withSimDefaults(cfg SimConfig, n int) SimConfig {
 	if cfg.Events == 0 {
 		cfg.Events = 40 * n
@@ -30,51 +45,78 @@ func withSimDefaults(cfg SimConfig, n int) SimConfig {
 	if cfg.Cookies == 0 {
 		cfg.Cookies = 8 * n
 	}
-	if cfg.BrowseHeadBias == 0 {
-		cfg.BrowseHeadBias = 0.15
+	if cfg.BrowseHeadBias == nil {
+		cfg.BrowseHeadBias = Bias(defaultBrowseHeadBias)
 	}
 	return cfg
 }
 
-// Simulate generates the search and browse click streams for a catalog,
-// invoking emit for every click. Clicks reference entity URLs; cookies
-// are drawn from a finite population so unique-cookie counting
-// saturates realistically for head entities.
-func Simulate(cat *Catalog, cfg SimConfig, emit func(logs.Click) error) error {
-	if len(cat.Entities) == 0 {
-		return fmt.Errorf("demand: empty catalog")
+// clickDraws is the exact number of RNG draws one click consumes: two
+// for the alias sample, one for the cookie, one for the day. The
+// generator keeps this budget fixed so event i of a source stream
+// always begins at draw i*clickDraws — the leapfrog contract that lets
+// dist.RNG.Jump position a worker at any event offset (see the
+// internal/dist package documentation). Any change to the per-click
+// draw count is caught by the golden stream test.
+const clickDraws = 4
+
+// sourceStreamID names each source's substream for dist.StreamSeed.
+func sourceStreamID(s logs.Source) uint64 {
+	if s == logs.Search {
+		return 1
 	}
-	cfg = withSimDefaults(cfg, len(cat.Entities))
-	for _, source := range []logs.Source{logs.Search, logs.Browse} {
-		if err := simulateSource(cat, cfg, source, emit); err != nil {
-			return err
-		}
-	}
-	return nil
+	return 2
 }
 
-func simulateSource(cat *Catalog, cfg SimConfig, source logs.Source, emit func(logs.Click) error) error {
-	rng := dist.NewRNG(cfg.Seed ^ sourceSalt(source))
-	weights := make([]float64, len(cat.Entities))
+// sourceSampler is the immutable per-source sampling state: the alias
+// table over (bias-tilted) latent demand plus the resolved config. It
+// is safe for concurrent generate calls, each over its own event range
+// with its own RNG.
+type sourceSampler struct {
+	cat    *Catalog
+	cfg    SimConfig // defaults applied
+	source logs.Source
+	alias  *dist.Alias
+}
+
+func newSourceSampler(cat *Catalog, cfg SimConfig, source logs.Source) (*sourceSampler, error) {
+	if len(cat.Entities) == 0 {
+		return nil, fmt.Errorf("demand: empty catalog")
+	}
 	bias := 0.0
 	if source == logs.Browse {
-		bias = cfg.BrowseHeadBias
+		bias = *cfg.BrowseHeadBias
 	}
+	weights := make([]float64, len(cat.Entities))
 	for i, e := range cat.Entities {
 		// Browse head bias: tilt latent demand by rank^-bias.
 		weights[i] = e.demand * math.Pow(float64(i+1), -bias)
 	}
 	alias, err := dist.NewAlias(weights)
 	if err != nil {
-		return fmt.Errorf("demand: alias over latent demand: %w", err)
+		return nil, fmt.Errorf("demand: alias over latent demand: %w", err)
 	}
-	for ev := 0; ev < cfg.Events; ev++ {
-		e := alias.Sample(rng)
+	return &sourceSampler{cat: cat, cfg: cfg, source: source, alias: alias}, nil
+}
+
+// generate emits events [lo, hi) of the source's click stream. The
+// stream is a pure function of (seed, source, event index): the RNG
+// seeds from dist.StreamSeed(seed, source) and jumps to draw
+// lo*clickDraws, and every event consumes exactly clickDraws draws, so
+// any partition of the event index space concatenates to the unsplit
+// stream.
+func (sp *sourceSampler) generate(lo, hi int, emit func(logs.Click) error) error {
+	rng := dist.NewRNG(dist.StreamSeed(sp.cfg.Seed, sourceStreamID(sp.source)))
+	rng.Jump(uint64(lo) * clickDraws)
+	for ev := lo; ev < hi; ev++ {
+		e := sp.alias.Sample(rng)                      // draws 1–2
+		cookie := uint64(rng.Intn(sp.cfg.Cookies)) + 1 // draw 3
+		day := rng.Intn(365)                           // draw 4
 		c := logs.Click{
-			Source: source,
-			Cookie: uint64(rng.Intn(cfg.Cookies)) + 1,
-			Day:    rng.Intn(365),
-			URL:    cat.Entities[e].URL,
+			Source: sp.source,
+			Cookie: cookie,
+			Day:    day,
+			URL:    sp.cat.Entities[e].URL,
 		}
 		if err := emit(c); err != nil {
 			return fmt.Errorf("demand: emit click: %w", err)
@@ -83,11 +125,45 @@ func simulateSource(cat *Catalog, cfg SimConfig, source logs.Source, emit func(l
 	return nil
 }
 
-func sourceSalt(s logs.Source) uint64 {
-	if s == logs.Search {
-		return 0x5ea4c4
+// Simulate generates the search and browse click streams for a catalog,
+// invoking emit for every click. Clicks reference entity URLs; cookies
+// are drawn from a finite population so unique-cookie counting
+// saturates realistically for head entities. The emitted sequence is
+// the canonical stream order: all search events by index, then all
+// browse events; SimulateRange reproduces any sub-range of it and
+// GeneratePipeline aggregates it fully in parallel.
+func Simulate(cat *Catalog, cfg SimConfig, emit func(logs.Click) error) error {
+	cfg = withSimDefaults(cfg, len(cat.Entities))
+	for _, source := range sources {
+		sp, err := newSourceSampler(cat, cfg, source)
+		if err != nil {
+			return err
+		}
+		if err := sp.generate(0, cfg.Events, emit); err != nil {
+			return err
+		}
 	}
-	return 0xb405e
+	return nil
+}
+
+// SimulateRange generates events [lo, hi) of one source's click stream:
+// exactly the clicks Simulate emits at those indices for the same
+// (cat, cfg), whatever the surrounding partitioning. hi may exceed
+// cfg.Events — the stream extends deterministically — so callers can
+// also use it to sample beyond the simulated year.
+func SimulateRange(cat *Catalog, cfg SimConfig, source logs.Source, lo, hi int, emit func(logs.Click) error) error {
+	if !source.Valid() {
+		return fmt.Errorf("demand: unknown source %q", source)
+	}
+	if lo < 0 || hi < lo {
+		return fmt.Errorf("demand: bad event range [%d, %d)", lo, hi)
+	}
+	cfg = withSimDefaults(cfg, len(cat.Entities))
+	sp, err := newSourceSampler(cat, cfg, source)
+	if err != nil {
+		return err
+	}
+	return sp.generate(lo, hi, emit)
 }
 
 // Estimate is the aggregated demand of one entity from one source.
@@ -128,7 +204,7 @@ func newAggregator(byKey map[string]int, site logs.Site, n int) *Aggregator {
 		site:   site,
 		perSrc: make(map[logs.Source][]entityAgg, 2),
 	}
-	for _, s := range []logs.Source{logs.Search, logs.Browse} {
+	for _, s := range sources {
 		a.perSrc[s] = make([]entityAgg, n)
 	}
 	return a

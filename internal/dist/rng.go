@@ -4,6 +4,35 @@
 // discrete sampling). Everything is a pure function of the seed, so any
 // artifact built from a dist.RNG is reproducible bit-for-bit across
 // runs, platforms and worker counts.
+//
+// # Stream splitting and the determinism contract
+//
+// Two mechanisms let one master seed drive arbitrarily many concurrent
+// generators without any serial handoff, with output independent of how
+// the work is partitioned:
+//
+//   - StreamSeed derives the seed of an independent substream from a
+//     master seed and a salt path (for example (seed, source) or
+//     (seed, site, phase)). Equal paths always yield the same stream;
+//     distinct paths yield decorrelated streams.
+//
+//   - RNG.Jump advances an RNG by n draws in O(1). splitmix64 is
+//     counter-based — draw i is a bijective finalizer applied to
+//     seed + (i+1)*gamma — so jumping is a single multiply-add.
+//
+// Together they implement counter-based/leapfrog splitting: a generator
+// that consumes a fixed number k of draws per event can position a
+// fresh RNG at event index lo of the stream (seed, salts...) with
+//
+//	r := NewRNG(StreamSeed(seed, salts...))
+//	r.Jump(uint64(lo) * k)
+//
+// and any partition of the event index space — by window, by worker,
+// or sequentially — concatenates to exactly the unsplit stream. The
+// contract holds as long as every event consumes exactly k draws of
+// Uint64/Intn/Float64 (one draw each); variable-draw samplers such as
+// NormFloat64 or Alias.SampleDistinct break the fixed budget and must
+// not sit on a jumped path.
 package dist
 
 import (
@@ -11,9 +40,13 @@ import (
 	"math/bits"
 )
 
+// gamma is splitmix64's golden-ratio increment: the per-draw state
+// stride. Jump relies on the state after n draws being seed + n*gamma.
+const gamma = 0x9e3779b97f4a7c15
+
 // RNG is a small, fast, deterministic PRNG (splitmix64). It is NOT
-// safe for concurrent use; give each goroutine its own RNG via Split
-// or an independent seed.
+// safe for concurrent use; give each goroutine its own RNG via Split,
+// an independent StreamSeed, or a Jump offset of its own.
 type RNG struct {
 	state uint64
 }
@@ -24,7 +57,7 @@ func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
 
 // Uint64 returns the next 64 uniformly distributed bits.
 func (r *RNG) Uint64() uint64 {
-	r.state += 0x9e3779b97f4a7c15
+	r.state += gamma
 	z := r.state
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
@@ -45,6 +78,18 @@ func (r *RNG) Intn(n int) int {
 // Float64 returns a uniform float64 in [0, 1).
 func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Jump advances the RNG by n draws in O(1), exactly as if n Uint64
+// calls had been made and their results discarded. Uint64, Intn and
+// Float64 each consume one draw; NormFloat64 consumes a variable
+// number and is not Jump-compatible. Jump(a) followed by Jump(b) is
+// Jump(a+b). This is the leapfrog half of the stream-splitting scheme
+// described in the package documentation: workers position independent
+// RNGs at arbitrary draw offsets of one logical stream, and any
+// partition of the offset space reproduces the sequential stream.
+func (r *RNG) Jump(n uint64) {
+	r.state += n * gamma
 }
 
 // Split derives an independent child RNG, advancing the parent. The

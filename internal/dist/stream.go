@@ -1,0 +1,35 @@
+package dist
+
+// mix64 is splitmix64's bijective output finalizer: full-avalanche
+// mixing of a 64-bit word.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// StreamSeed derives the seed of an independent RNG substream from a
+// master seed and a salt path. It is the counter-based half of the
+// stream-splitting scheme (see the package documentation): callers name
+// a substream by a structured path — (seed, source), (seed, site,
+// window), ... — instead of hand-picking XOR constants.
+//
+// Contract:
+//   - deterministic: equal (seed, salts...) always yield the same seed;
+//   - path-sensitive: the salt sequence is folded in order, so
+//     (a, b) and (b, a) — and prefixes like (a) vs (a, 0) — name
+//     different streams;
+//   - decorrelated: each salt passes through a full-avalanche mix, so
+//     adjacent salts (window 17 vs 18) and adjacent master seeds yield
+//     unrelated streams.
+func StreamSeed(seed uint64, salts ...uint64) uint64 {
+	// Additive folding (never XOR): x ^ y cancels to zero whenever the
+	// mixed seed equals the mixed salt, collapsing e.g. every
+	// (s, s) path onto one stream. s + gamma + salt*odd is bijective in
+	// the salt and cannot cancel systematically.
+	s := seed
+	for _, salt := range salts {
+		s = mix64(s + gamma + salt*0xbf58476d1ce4e5b9)
+	}
+	return mix64(s + gamma)
+}

@@ -1,0 +1,163 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+// TestJumpEquivalentToDraws is the leapfrog contract: Jump(n) lands on
+// exactly the state n discarded draws would reach.
+func TestJumpEquivalentToDraws(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 17, 255, 1000, 1 << 20} {
+		walked := NewRNG(99)
+		for i := 0; i < n; i++ {
+			walked.Uint64()
+		}
+		jumped := NewRNG(99)
+		jumped.Jump(uint64(n))
+		for i := 0; i < 32; i++ {
+			if w, j := walked.Uint64(), jumped.Uint64(); w != j {
+				t.Fatalf("n=%d draw %d: walked %x, jumped %x", n, i, w, j)
+			}
+		}
+	}
+}
+
+// TestJumpComposes: Jump(a) then Jump(b) equals Jump(a+b), so window
+// offsets can be accumulated or computed directly.
+func TestJumpComposes(t *testing.T) {
+	a := NewRNG(5)
+	a.Jump(123)
+	a.Jump(4567)
+	b := NewRNG(5)
+	b.Jump(123 + 4567)
+	for i := 0; i < 16; i++ {
+		if x, y := a.Uint64(), b.Uint64(); x != y {
+			t.Fatalf("draw %d: composed %x, direct %x", i, x, y)
+		}
+	}
+}
+
+// TestSplitAtArbitraryBoundaries is the stream-splitting property: cut
+// the draw index space at arbitrary boundaries, regenerate each segment
+// from a fresh jumped RNG, and the concatenation must equal the unsplit
+// stream bit-for-bit.
+func TestSplitAtArbitraryBoundaries(t *testing.T) {
+	const total = 20000
+	full := make([]uint64, total)
+	rng := NewRNG(77)
+	for i := range full {
+		full[i] = rng.Uint64()
+	}
+	// Boundary positions drawn from an unrelated RNG, including
+	// degenerate zero-length segments.
+	cutter := NewRNG(1234)
+	for trial := 0; trial < 20; trial++ {
+		bounds := []int{0}
+		for pos := 0; pos < total; {
+			pos += cutter.Intn(2500) // may produce empty segments via 0
+			if pos > total {
+				pos = total
+			}
+			bounds = append(bounds, pos)
+		}
+		if bounds[len(bounds)-1] != total {
+			bounds = append(bounds, total)
+		}
+		var got []uint64
+		for i := 1; i < len(bounds); i++ {
+			lo, hi := bounds[i-1], bounds[i]
+			sub := NewRNG(77)
+			sub.Jump(uint64(lo))
+			for j := lo; j < hi; j++ {
+				got = append(got, sub.Uint64())
+			}
+		}
+		if len(got) != total {
+			t.Fatalf("trial %d: concatenated %d draws, want %d", trial, len(got), total)
+		}
+		for i := range full {
+			if got[i] != full[i] {
+				t.Fatalf("trial %d: draw %d differs after split at %v", trial, i, bounds)
+			}
+		}
+	}
+}
+
+func TestStreamSeedDeterministicAndPathSensitive(t *testing.T) {
+	if StreamSeed(1, 2, 3) != StreamSeed(1, 2, 3) {
+		t.Error("equal paths must yield equal seeds")
+	}
+	seen := map[uint64]string{}
+	for name, s := range map[string]uint64{
+		"(1)":     StreamSeed(1),
+		"(1,2)":   StreamSeed(1, 2),
+		"(1,3)":   StreamSeed(1, 3),
+		"(1,2,3)": StreamSeed(1, 2, 3),
+		"(1,3,2)": StreamSeed(1, 3, 2),
+		"(1,2,0)": StreamSeed(1, 2, 0),
+		"(2,2)":   StreamSeed(2, 2),
+		"(0)":     StreamSeed(0),
+		"(0,0)":   StreamSeed(0, 0),
+	} {
+		if prev, dup := seen[s]; dup {
+			t.Errorf("paths %s and %s collide on %x", name, prev, s)
+		}
+		seen[s] = name
+	}
+}
+
+// TestStreamSeedSubstreamMoments: the first draws across many derived
+// substreams must look uniform — mean 1/2, variance 1/12 — i.e. salting
+// does not bias the ensemble.
+func TestStreamSeedSubstreamMoments(t *testing.T) {
+	const n = 20000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		f := NewRNG(StreamSeed(42, uint64(i))).Float64()
+		sum += f
+		sumSq += f * f
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("substream first-draw mean %v, want ~0.5", mean)
+	}
+	if math.Abs(variance-1.0/12) > 0.005 {
+		t.Errorf("substream first-draw variance %v, want ~%v", variance, 1.0/12)
+	}
+}
+
+// TestJumpedWindowMoments: consecutive windows of one stream (the
+// leapfrog partition the demand generator uses) each stay individually
+// uniform.
+func TestJumpedWindowMoments(t *testing.T) {
+	const windows, width = 100, 2000
+	for w := 0; w < windows; w++ {
+		rng := NewRNG(7)
+		rng.Jump(uint64(w * width))
+		var sum float64
+		for i := 0; i < width; i++ {
+			sum += rng.Float64()
+		}
+		if mean := sum / width; mean < 0.45 || mean > 0.55 {
+			t.Errorf("window %d mean %v, want ~0.5", w, mean)
+		}
+	}
+}
+
+// TestStreamSeedDecorrelatesAdjacentSalts: streams from adjacent salts
+// must not collide draw-for-draw.
+func TestStreamSeedDecorrelatesAdjacentSalts(t *testing.T) {
+	a := NewRNG(StreamSeed(9, 100))
+	b := NewRNG(StreamSeed(9, 101))
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d of 1000 draws identical across adjacent salts", same)
+	}
+}

@@ -1,0 +1,141 @@
+package textgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+// Vocabulary-table invariants: every generator indexes these slices
+// blindly, so an empty list or blank entry would surface as a panic or
+// malformed text deep inside web generation.
+
+func TestVocabularyTablesNonEmpty(t *testing.T) {
+	tables := map[string][]string{
+		"firstNames":           firstNames,
+		"lastNames":            lastNames,
+		"cuisines":             cuisines,
+		"bizAdjectives":        bizAdjectives,
+		"streetNames":          streetNames,
+		"streetTypes":          streetTypes,
+		"cities":               cities,
+		"states":               states,
+		"reviewOpeners":        reviewOpeners,
+		"reviewPositive":       reviewPositive,
+		"reviewNegative":       reviewNegative,
+		"reviewClosers":        reviewClosers,
+		"boilerplateSentences": boilerplateSentences,
+		"sharedFiller":         sharedFiller,
+	}
+	for name, list := range tables {
+		if len(list) == 0 {
+			t.Errorf("%s is empty", name)
+			continue
+		}
+		for i, s := range list {
+			if strings.TrimSpace(s) == "" {
+				t.Errorf("%s[%d] is blank", name, i)
+			}
+		}
+	}
+}
+
+func TestStatesAreTwoLetterCodes(t *testing.T) {
+	for _, s := range states {
+		if len(s) != 2 || strings.ToUpper(s) != s {
+			t.Errorf("state %q is not a two-letter uppercase code", s)
+		}
+	}
+}
+
+func TestBizNounsCoverDefaultAndAreNonBlank(t *testing.T) {
+	if _, ok := bizNouns["defaultdomain"]; !ok {
+		t.Fatal("bizNouns missing the defaultdomain fallback")
+	}
+	for domain, nouns := range bizNouns {
+		if len(nouns) == 0 {
+			t.Errorf("bizNouns[%q] is empty", domain)
+		}
+		for i, n := range nouns {
+			if strings.TrimSpace(n) == "" {
+				t.Errorf("bizNouns[%q][%d] is blank", domain, i)
+			}
+		}
+	}
+}
+
+func TestVocabularyNoDuplicates(t *testing.T) {
+	for name, list := range map[string][]string{
+		"cities":               cities,
+		"states":               states,
+		"boilerplateSentences": boilerplateSentences,
+		"sharedFiller":         sharedFiller,
+	} {
+		seen := map[string]bool{}
+		for _, s := range list {
+			if seen[s] {
+				t.Errorf("%s contains duplicate %q", name, s)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+// TestReviewEndsWithCloser: the review template always terminates with
+// a closer sentence, so rendered prose never trails mid-thought.
+func TestReviewEndsWithCloser(t *testing.T) {
+	rng := dist.NewRNG(21)
+	for i := 0; i < 100; i++ {
+		r := Review(rng, "Test Cafe", 3+i%5)
+		ok := false
+		for _, c := range reviewClosers {
+			if strings.HasSuffix(r, c) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("review does not end with a closer: %q", r)
+		}
+	}
+}
+
+// TestBoilerplateDrawsOnlyFromItsTables: boilerplate must be assembled
+// from boilerplate sentences and shared filler only — never review
+// sentiment — or the classifier's training labels would be wrong.
+func TestBoilerplateDrawsOnlyFromItsTables(t *testing.T) {
+	allowed := map[string]bool{}
+	for _, s := range boilerplateSentences {
+		allowed[s] = true
+	}
+	for _, s := range sharedFiller {
+		allowed[s] = true
+	}
+	rng := dist.NewRNG(22)
+	for i := 0; i < 50; i++ {
+		for _, sentence := range strings.SplitAfter(Boilerplate(rng, 4), ". ") {
+			sentence = strings.TrimSpace(sentence)
+			if sentence == "" {
+				continue
+			}
+			// Re-join the period split; sentences end with '.'.
+			if !strings.HasSuffix(sentence, ".") {
+				sentence += "."
+			}
+			if !allowed[sentence] {
+				t.Fatalf("boilerplate emitted foreign sentence %q", sentence)
+			}
+		}
+	}
+}
+
+func TestUSAddressZipInRange(t *testing.T) {
+	rng := dist.NewRNG(23)
+	for i := 0; i < 200; i++ {
+		a := USAddress(rng)
+		if a.Zip < "10000" || a.Zip > "99999" {
+			t.Fatalf("zip %q out of range", a.Zip)
+		}
+	}
+}
