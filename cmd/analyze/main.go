@@ -1,20 +1,24 @@
 // Command analyze runs one, several, or all of the paper's experiments
 // through the concurrent experiment registry and emits their data files
-// and a terminal preview.
+// and a terminal preview — or, with -json, the same JSON wire document
+// the HTTP serving layer (cmd/serve) returns, so batch and online
+// consumers share one encoding.
 //
 // Usage:
 //
 //	analyze -exp fig1 -scale small -seed 1 -out out/
 //	analyze -exp fig6,fig7,fig8 -workers 8 -out out/
 //	analyze -exp all -scale default -out out/
+//	analyze -exp fig3,table2 -json > results.json
 //
-// Experiment IDs: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8
-// table2 fig9; "all" (or a comma-separated subset) selects several.
-// Artifact builds and analyses fan out across -workers goroutines; the
-// output is identical for every worker count.
+// Run with -h to list the experiment IDs (sourced from the registry
+// metadata, core.ExperimentInfos). Artifact builds and analyses fan out
+// across -workers goroutines; the output is identical for every worker
+// count.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -33,12 +37,14 @@ func main() {
 }
 
 func run() error {
-	exp := flag.String("exp", "all", "experiment ids, comma-separated ("+strings.Join(report.Experiments, ", ")+", or all)")
+	exp := flag.String("exp", "all", "experiment ids, comma-separated ("+strings.Join(core.ExperimentIDs(), ", ")+", or all)")
 	scale := flag.String("scale", "small", "experiment scale: small, default, large")
 	seed := flag.Uint64("seed", 1, "master seed")
 	outDir := flag.String("out", "out", "output directory (empty: terminal only)")
+	jsonOut := flag.Bool("json", false, "emit the shared JSON wire document (schema "+report.SchemaV1+") to stdout instead of rendering files/previews")
 	extraction := flag.Bool("extraction", false, "build indexes via the full render+parse+extract pipeline instead of direct model decisions")
 	workers := flag.Int("workers", 0, "worker pool size for artifact builds, analyses, extraction and demand shards (0: GOMAXPROCS)")
+	flag.Usage = usage
 	flag.Parse()
 
 	var sc synth.Scale
@@ -60,12 +66,31 @@ func run() error {
 		UseExtraction:  *extraction,
 		Workers:        *workers,
 	})
-	if *exp == "all" {
-		return report.RunAll(study, *outDir, os.Stdout, *workers)
+	ids := core.ExperimentIDs()
+	if *exp != "all" {
+		ids = strings.Split(*exp, ",")
+		for i, id := range ids {
+			ids[i] = strings.TrimSpace(id)
+		}
 	}
-	ids := strings.Split(*exp, ",")
-	for i, id := range ids {
-		ids[i] = strings.TrimSpace(id)
+	if *jsonOut {
+		rep, err := study.RunExperiments(context.Background(), ids, *workers)
+		if err != nil {
+			return err
+		}
+		return report.WriteJSON(os.Stdout, study, rep)
 	}
 	return report.RunMany(study, ids, *outDir, os.Stdout, *workers)
+}
+
+// usage lists flags plus the experiment registry's metadata, so the
+// help text always matches what the registry can run.
+func usage() {
+	w := flag.CommandLine.Output()
+	fmt.Fprintf(w, "Usage of %s:\n", os.Args[0])
+	flag.PrintDefaults()
+	fmt.Fprintf(w, "\nExperiments (from the registry):\n")
+	for _, info := range core.ExperimentInfos() {
+		fmt.Fprintf(w, "  %-8s %s (needs %d artifacts)\n", info.ID, info.Title, len(info.Needs))
+	}
 }

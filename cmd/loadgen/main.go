@@ -1,0 +1,187 @@
+// Command loadgen drives concurrent load against a running serve
+// instance and reports throughput and latency quantiles — the harness
+// behind the serving-layer numbers in the bench trajectory.
+//
+// Usage:
+//
+//	loadgen -url http://localhost:8080 -clients 16 -n 2000 \
+//	  -path /v1/experiments/fig3,/v1/demand/yelp -conditional
+//
+// A warmup pass (one uncounted request per endpoint) populates the
+// server's caches and captures each endpoint's ETag; with -conditional
+// every measured request then carries If-None-Match, exercising the
+// 304 hot path. Compare against a cold run (fresh server, -conditional
+// =false, distinct -seed) to see the cache's effect; BenchmarkServe in
+// internal/serve records the same cold-vs-warm ratio in-process.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+type sample struct {
+	status int
+	d      time.Duration
+	err    bool
+}
+
+func run() error {
+	baseURL := flag.String("url", "http://localhost:8080", "server base URL")
+	clients := flag.Int("clients", 8, "concurrent clients")
+	total := flag.Int("n", 400, "total requests across all clients (ignored when -duration > 0)")
+	duration := flag.Duration("duration", 0, "run for a fixed wall-clock time instead of a request count")
+	paths := flag.String("path", "/v1/experiments/fig3", "comma-separated endpoint paths (each may carry its own query)")
+	conditional := flag.Bool("conditional", true, "send If-None-Match with the warmup-captured ETag (exercises the 304 hot path)")
+	flag.Parse()
+
+	endpoints := strings.Split(*paths, ",")
+	for i := range endpoints {
+		endpoints[i] = strings.TrimSpace(endpoints[i])
+	}
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        *clients * 2,
+		MaxIdleConnsPerHost: *clients * 2,
+	}}
+
+	// Warmup: one request per endpoint populates the server's study and
+	// body caches and captures the ETags for conditional mode.
+	etags := make(map[string]string, len(endpoints))
+	fmt.Printf("warmup: %d endpoint(s)\n", len(endpoints))
+	for _, ep := range endpoints {
+		t0 := time.Now()
+		resp, err := client.Get(*baseURL + ep)
+		if err != nil {
+			return fmt.Errorf("warmup %s: %w", ep, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("warmup %s: status %d", ep, resp.StatusCode)
+		}
+		etags[ep] = resp.Header.Get("ETag")
+		fmt.Printf("  %-48s %8v  etag %s\n", ep, time.Since(t0).Round(time.Millisecond), etags[ep])
+	}
+
+	var (
+		issued   atomic.Int64
+		deadline time.Time
+	)
+	if *duration > 0 {
+		deadline = time.Now().Add(*duration)
+	}
+	next := func() (string, bool) {
+		n := issued.Add(1) - 1
+		if *duration > 0 {
+			if time.Now().After(deadline) {
+				return "", false
+			}
+		} else if n >= int64(*total) {
+			return "", false
+		}
+		return endpoints[int(n)%len(endpoints)], true
+	}
+
+	samplesCh := make(chan []sample, *clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var out []sample
+			for {
+				ep, ok := next()
+				if !ok {
+					break
+				}
+				req, err := http.NewRequest(http.MethodGet, *baseURL+ep, nil)
+				if err != nil {
+					out = append(out, sample{err: true})
+					continue
+				}
+				if *conditional {
+					req.Header.Set("If-None-Match", etags[ep])
+				}
+				t0 := time.Now()
+				resp, err := client.Do(req)
+				if err != nil {
+					out = append(out, sample{err: true, d: time.Since(t0)})
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				out = append(out, sample{status: resp.StatusCode, d: time.Since(t0)})
+			}
+			samplesCh <- out
+		}()
+	}
+	wg.Wait()
+	close(samplesCh)
+	elapsed := time.Since(start)
+
+	var all []sample
+	for s := range samplesCh {
+		all = append(all, s...)
+	}
+	if len(all) == 0 {
+		return fmt.Errorf("no requests issued")
+	}
+
+	byStatus := map[int]int{}
+	errs := 0
+	durs := make([]time.Duration, 0, len(all))
+	for _, s := range all {
+		if s.err {
+			errs++
+			continue
+		}
+		byStatus[s.status]++
+		durs = append(durs, s.d)
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	q := func(p float64) time.Duration {
+		if len(durs) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(durs)-1))
+		return durs[i]
+	}
+
+	fmt.Printf("\n%d clients, %d requests in %v → %.1f req/s\n",
+		*clients, len(all), elapsed.Round(time.Millisecond),
+		float64(len(all))/elapsed.Seconds())
+	statuses := make([]int, 0, len(byStatus))
+	for code := range byStatus {
+		statuses = append(statuses, code)
+	}
+	sort.Ints(statuses)
+	parts := make([]string, 0, len(statuses)+1)
+	for _, code := range statuses {
+		parts = append(parts, fmt.Sprintf("%d=%d", code, byStatus[code]))
+	}
+	parts = append(parts, fmt.Sprintf("errors=%d", errs))
+	fmt.Printf("status: %s\n", strings.Join(parts, " "))
+	if len(durs) > 0 {
+		fmt.Printf("latency: p50=%v p95=%v p99=%v max=%v\n",
+			q(0.50).Round(time.Microsecond), q(0.95).Round(time.Microsecond),
+			q(0.99).Round(time.Microsecond), durs[len(durs)-1].Round(time.Microsecond))
+	}
+	return nil
+}

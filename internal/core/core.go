@@ -22,6 +22,9 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
 	"sync/atomic"
 
 	"repro/internal/classify"
@@ -76,6 +79,21 @@ func (c Config) withDefaults() Config {
 		c.EventsPerSource = 20 * c.CatalogN
 	}
 	return c
+}
+
+// Hash returns a stable hex fingerprint of the result-determining part
+// of the configuration. Two Configs with equal hashes produce
+// byte-identical experiment results: every artifact builder derives its
+// RNG streams from (Seed, key) salts, so Workers — which only changes
+// scheduling — is deliberately excluded. The serving layer derives HTTP
+// ETags from this hash, which is what makes aggressive response caching
+// sound. The leading "v1|" versions the canonical encoding itself.
+func (c Config) Hash() string {
+	r := c.withDefaults()
+	canonical := fmt.Sprintf("v1|seed=%d|entities=%d|dirhosts=%d|catalog=%d|events=%d|extract=%t",
+		r.Seed, r.Entities, r.DirectoryHosts, r.CatalogN, r.EventsPerSource, r.UseExtraction)
+	sum := sha256.Sum256([]byte(canonical))
+	return hex.EncodeToString(sum[:8])
 }
 
 // Study runs the paper's experiments over one configuration. All

@@ -151,6 +151,29 @@ func Experiments() []Experiment {
 	return out
 }
 
+// ExperimentInfo is the serializable metadata of one registered
+// experiment: its ID, display title, and the names of the artifacts it
+// builds on. It is the wire shape of GET /v1/experiments and the source
+// of cmd/analyze's usage text.
+type ExperimentInfo struct {
+	ID    string   `json:"id"`
+	Title string   `json:"title"`
+	Needs []string `json:"needs,omitempty"`
+}
+
+// ExperimentInfos returns the registry's metadata in paper order.
+func ExperimentInfos() []ExperimentInfo {
+	out := make([]ExperimentInfo, len(registry))
+	for i, e := range registry {
+		info := ExperimentInfo{ID: e.ID, Title: e.Title}
+		for _, a := range e.Needs {
+			info.Needs = append(info.Needs, a.Name)
+		}
+		out[i] = info
+	}
+	return out
+}
+
 // ExperimentIDs lists the registered experiment IDs in paper order.
 func ExperimentIDs() []string {
 	out := make([]string, len(registry))

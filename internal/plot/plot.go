@@ -85,13 +85,17 @@ func ASCII(title string, series []Series, opt Options) string {
 	if opt.YMax > opt.YMin {
 		yMin, yMax = opt.YMin, opt.YMax
 	}
-	if math.IsInf(xMin, 1) || yMin == yMax {
-		if yMin == yMax {
-			yMax = yMin + 1
-		}
-		if math.IsInf(xMin, 1) {
-			xMin, xMax = 0, 1
-		}
+	// Degenerate inputs — no plottable points (empty series, or LogX
+	// with every x <= 0) or a flat axis — fall back to unit ranges so
+	// the frame renders without NaN/Inf geometry.
+	if math.IsInf(xMin, 1) {
+		xMin, xMax = 0, 1
+	}
+	if math.IsInf(yMin, 1) {
+		yMin, yMax = 0, 1
+	}
+	if yMin == yMax {
+		yMax = yMin + 1
 	}
 	if xMin == xMax {
 		xMax = xMin + 1

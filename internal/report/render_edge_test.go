@@ -1,0 +1,99 @@
+package report
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/coverage"
+	"repro/internal/demand"
+	"repro/internal/entity"
+	"repro/internal/logs"
+	"repro/internal/valueadd"
+)
+
+// emptyCurves builds n curves with no points — the shape a spread
+// computation produces over a degenerate (empty) index.
+func emptyCurves(n int) []coverage.Curve {
+	out := make([]coverage.Curve, n)
+	for i := range out {
+		out[i] = coverage.Curve{K: i + 1}
+	}
+	return out
+}
+
+// singlePointCurves builds n one-point curves.
+func singlePointCurves(n int) []coverage.Curve {
+	out := make([]coverage.Curve, n)
+	for i := range out {
+		out[i] = coverage.Curve{K: i + 1, T: []int{1}, Coverage: []float64{0.5}}
+	}
+	return out
+}
+
+// TestRenderEdgeCases drives every renderer with degenerate results —
+// empty curve sets, empty curves, and single-point series — asserting
+// none panic and each still emits its header and data files.
+func TestRenderEdgeCases(t *testing.T) {
+	spread := func(curves []coverage.Curve) *core.SpreadResult {
+		return &core.SpreadResult{Domain: entity.Restaurants, Attr: entity.AttrPhone, Curves: curves}
+	}
+	cases := []struct {
+		name  string
+		id    string
+		value any
+		want  string // substring of the terminal output
+	}{
+		{"table1-empty", "table1", []core.Table1Row{}, "Table 1"},
+		{"fig1-empty-curves", "fig1", []*core.SpreadResult{spread(emptyCurves(core.KCoverageMax))}, "Fig1"},
+		{"fig1-short-curves", "fig1", []*core.SpreadResult{spread(singlePointCurves(2))}, "Fig1"},
+		{"fig2-single-point", "fig2", []*core.SpreadResult{spread(singlePointCurves(core.KCoverageMax))}, "Fig2"},
+		{"fig3-empty", "fig3", spread(emptyCurves(core.KCoverageMax)), "Fig 3"},
+		{"fig3-short", "fig3", spread(singlePointCurves(1)), "Fig 3"},
+		{"fig4-degenerate", "fig4", &core.Fig4Result{A: spread(singlePointCurves(1)), B: coverage.AggregateCurve{}}, "Fig 4"},
+		{"fig5-empty", "fig5", &core.Fig5Result{}, "Fig 5"},
+		{"fig6-empty", "fig6", []*core.Fig6Result{{Site: logs.Yelp, Source: logs.Search}}, "Fig 6"},
+		{"fig6-single-point", "fig6", []*core.Fig6Result{{
+			Site: logs.Yelp, Source: logs.Search,
+			CDF: []demand.CDFPoint{{InventoryFrac: 1, DemandFrac: 1}},
+			PDF: []demand.PDFPoint{{Rank: 1, DemandFrac: 1}},
+		}}, "Fig 6"},
+		{"fig7-empty-bins", "fig7", []*core.Fig78Result{{Site: logs.Yelp, Source: logs.Search}}, "Fig 7"},
+		{"fig8-zero-center-bin", "fig8", []*core.Fig78Result{{
+			Site: logs.Yelp, Source: logs.Browse,
+			Bins: []valueadd.BinPoint{{Bin: 0, CenterN: 0, RelVA: 1}},
+		}}, "Fig 8"},
+		{"table2-empty", "table2", []core.Table2Row{}, "Table 2"},
+		{"fig9-empty-curve", "fig9", []*core.Fig9Result{{Domain: entity.Books, Attr: entity.AttrISBN}}, "Fig 9"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := render(tc.id, tc.value, t.TempDir(), &out); err != nil {
+				t.Fatalf("render: %v", err)
+			}
+			if !strings.Contains(out.String(), tc.want) {
+				t.Errorf("output missing %q:\n%s", tc.want, out.String())
+			}
+		})
+	}
+}
+
+func TestRenderUnknownID(t *testing.T) {
+	if err := render("fig99", nil, "", &bytes.Buffer{}); err == nil {
+		t.Error("unknown id should fail")
+	}
+}
+
+// TestWriteFileUnwritableDir surfaces file-creation errors instead of
+// silently dropping data.
+func TestWriteFileUnwritableDir(t *testing.T) {
+	if err := writeFile("/dev/null/nope", "x.tsv", func(io.Writer) error { return nil }); err == nil {
+		t.Error("unwritable dir should fail")
+	}
+	if err := writeFile("", "x.tsv", func(io.Writer) error { return nil }); err != nil {
+		t.Errorf("empty outDir is a no-op, got %v", err)
+	}
+}

@@ -187,8 +187,12 @@ func spreadFigure(results []*core.SpreadResult, outDir string, w io.Writer, figI
 		}); err != nil {
 			return err
 		}
-		// Preview only k=1 and k=5 to keep terminal output readable.
-		preview := []plot.Series{series[0], series[4]}
+		// Preview only k=1 and k=5 to keep terminal output readable;
+		// degenerate results with fewer curves preview what they have.
+		preview := series
+		if len(series) >= 5 {
+			preview = []plot.Series{series[0], series[4]}
+		}
 		fmt.Fprintln(w, plot.ASCII(
 			fmt.Sprintf("%s %s (%d sites)", r.Domain.Title(), attr, r.Sites),
 			preview, plot.Options{LogX: true, Width: 64, Height: 12, YMin: 0, YMax: 1}))
@@ -203,8 +207,12 @@ func fig3(r *core.SpreadResult, outDir string, w io.Writer) error {
 	}); err != nil {
 		return err
 	}
+	preview := series
+	if len(series) >= 5 {
+		preview = []plot.Series{series[0], series[4]}
+	}
 	fmt.Fprintln(w, "== Fig 3: Spread of Book ISBN Numbers ==")
-	fmt.Fprintln(w, plot.ASCII("Books ISBN", []plot.Series{series[0], series[4]},
+	fmt.Fprintln(w, plot.ASCII("Books ISBN", preview,
 		plot.Options{LogX: true, Width: 64, Height: 12, YMin: 0, YMax: 1}))
 	return nil
 }
@@ -227,11 +235,17 @@ func fig4(r *core.Fig4Result, outDir string, w io.Writer) error {
 	}); err != nil {
 		return err
 	}
+	previewA := series
+	previewB := []plot.Series{agg}
+	if len(series) >= 2 {
+		previewA = []plot.Series{series[0], series[1]}
+		previewB = []plot.Series{series[0], agg}
+	}
 	fmt.Fprintln(w, "== Fig 4: Spread of Review Attribute for Restaurants ==")
-	fmt.Fprintln(w, plot.ASCII("(a) review k-coverage", []plot.Series{series[0], series[1]},
+	fmt.Fprintln(w, plot.ASCII("(a) review k-coverage", previewA,
 		plot.Options{LogX: true, Width: 64, Height: 12, YMin: 0, YMax: 1}))
 	fmt.Fprintln(w, plot.ASCII("(b) aggregate review pages vs (a) k=1",
-		[]plot.Series{series[0], agg},
+		previewB,
 		plot.Options{LogX: true, Width: 64, Height: 12, YMin: 0, YMax: 1}))
 	return nil
 }

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"net/url"
+	"strconv"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/memo"
+	"repro/internal/synth"
+)
+
+// StudyKey identifies one cached study configuration — the unit of the
+// serving layer's multi-study cache. It is parsed from the query
+// parameters ?scale, ?seed and ?extraction.
+type StudyKey struct {
+	Scale      string
+	Seed       uint64
+	Extraction bool
+}
+
+func (k StudyKey) String() string {
+	return fmt.Sprintf("%s/seed=%d/extraction=%t", k.Scale, k.Seed, k.Extraction)
+}
+
+// scales maps the public scale names to their synthetic-web sizes,
+// mirroring cmd/analyze.
+var scales = map[string]synth.Scale{
+	"small":   synth.ScaleSmall,
+	"default": synth.ScaleDefault,
+	"large":   synth.ScaleLarge,
+}
+
+// configFor resolves a StudyKey to the core configuration it denotes.
+// Workers is scheduling-only and excluded from Config.Hash, so it never
+// influences response bytes or ETags.
+func configFor(k StudyKey, workers int) core.Config {
+	sc := scales[k.Scale]
+	return core.Config{
+		Seed:           k.Seed,
+		Entities:       sc.Entities,
+		DirectoryHosts: sc.DirectoryHosts,
+		CatalogN:       sc.Entities,
+		UseExtraction:  k.Extraction,
+		Workers:        workers,
+	}
+}
+
+// parseStudyKey extracts a StudyKey from query parameters, applying the
+// defaults scale=small, seed=1, extraction=false.
+func parseStudyKey(q url.Values) (StudyKey, error) {
+	k := StudyKey{Scale: "small", Seed: 1}
+	if v := q.Get("scale"); v != "" {
+		if _, ok := scales[v]; !ok {
+			return StudyKey{}, fmt.Errorf("unknown scale %q (small, default, large)", v)
+		}
+		k.Scale = v
+	}
+	if v := q.Get("seed"); v != "" {
+		seed, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return StudyKey{}, fmt.Errorf("invalid seed %q: must be an unsigned integer", v)
+		}
+		k.Seed = seed
+	}
+	if v := q.Get("extraction"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return StudyKey{}, fmt.Errorf("invalid extraction %q: must be a boolean", v)
+		}
+		k.Extraction = b
+	}
+	return k, nil
+}
+
+// bodyKey identifies one cached response body within a study: the
+// endpoint (e.g. "experiment/fig3") and wire format ("json" or "csv").
+type bodyKey struct {
+	endpoint string
+	format   string
+}
+
+// body is one immutable, fully marshaled response.
+type body struct {
+	data        []byte
+	contentType string
+	etag        string
+}
+
+// studyEntry pairs a cached Study with its response-body cache. Both
+// caches coalesce duplicate concurrent builds (memo singleflight), and
+// both are dropped together when the LRU evicts the entry.
+type studyEntry struct {
+	key    StudyKey
+	cfg    core.Config
+	study  *core.Study
+	bodies memo.Map[bodyKey, *body]
+}
+
+// studyCache is a bounded LRU of study entries. Creating an entry is
+// cheap — core.NewStudy allocates only empty memo maps — so the cache
+// creates entries eagerly under its lock; the expensive artifact builds
+// happen later, outside the lock, deduplicated per key by the study's
+// own singleflight layer. Evicting an entry that still serves in-flight
+// requests is safe: those requests keep their pointer and the entry is
+// garbage-collected when they finish.
+type studyCache struct {
+	mu        sync.Mutex
+	capacity  int
+	workers   int
+	ll        *list.List // *studyEntry values; front = most recently used
+	entries   map[StudyKey]*list.Element
+	evictions int
+}
+
+func newStudyCache(capacity, workers int) *studyCache {
+	return &studyCache{
+		capacity: capacity,
+		workers:  workers,
+		ll:       list.New(),
+		entries:  make(map[StudyKey]*list.Element),
+	}
+}
+
+// get returns the entry for key, creating it (and evicting the least
+// recently used entry beyond capacity) if needed.
+func (c *studyCache) get(key StudyKey) *studyEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*studyEntry)
+	}
+	cfg := configFor(key, c.workers)
+	e := &studyEntry{key: key, cfg: cfg, study: core.NewStudy(cfg)}
+	c.entries[key] = c.ll.PushFront(e)
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*studyEntry).key)
+		c.evictions++
+	}
+	return e
+}
+
+// snapshot returns the cached entries (most recently used first) and
+// the eviction count.
+func (c *studyCache) snapshot() ([]*studyEntry, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*studyEntry, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*studyEntry))
+	}
+	return out, c.evictions
+}

@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestETagForDeterministic(t *testing.T) {
+	cfg := core.Config{Seed: 1, Entities: 2000, DirectoryHosts: 3000, CatalogN: 2000}
+	a := ETagFor(cfg, "experiment/fig3", "json")
+	b := ETagFor(cfg, "experiment/fig3", "json")
+	if a != b {
+		t.Errorf("same inputs, different tags: %q vs %q", a, b)
+	}
+	if !strings.HasPrefix(a, `"`) || !strings.HasSuffix(a, `"`) {
+		t.Errorf("tag %q is not quoted", a)
+	}
+	// Workers is scheduling-only: it must not change the tag.
+	withWorkers := cfg
+	withWorkers.Workers = 8
+	if got := ETagFor(withWorkers, "experiment/fig3", "json"); got != a {
+		t.Errorf("workers changed the tag: %q vs %q", got, a)
+	}
+	// Seed, endpoint and format each distinguish tags.
+	seeded := cfg
+	seeded.Seed = 2
+	if ETagFor(seeded, "experiment/fig3", "json") == a {
+		t.Error("seed did not change the tag")
+	}
+	if ETagFor(cfg, "experiment/fig4", "json") == a {
+		t.Error("endpoint did not change the tag")
+	}
+	if ETagFor(cfg, "experiment/fig3", "csv") == a {
+		t.Error("format did not change the tag")
+	}
+}
+
+func TestETagMatch(t *testing.T) {
+	const tag = `"abc123"`
+	cases := []struct {
+		header string
+		want   bool
+	}{
+		{"", false},
+		{tag, true},
+		{"*", true},
+		{" * ", true},
+		{`"zzz"`, false},
+		{`"zzz", "abc123"`, true},
+		{`"zzz" , "abc123" `, true},
+		{`W/"abc123"`, true},
+		{`"abc"`, false},
+	}
+	for _, tc := range cases {
+		if got := etagMatch(tc.header, tag); got != tc.want {
+			t.Errorf("etagMatch(%q, %q) = %v, want %v", tc.header, tag, got, tc.want)
+		}
+	}
+	if !etagMatch(`"abc123"`, `W/"abc123"`) {
+		t.Error("weak stored tag should weakly match a strong candidate")
+	}
+}

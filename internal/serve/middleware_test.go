@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestChainOrder(t *testing.T) {
+	var order []string
+	mk := func(name string) Middleware {
+		return func(next http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				order = append(order, name)
+				next.ServeHTTP(w, r)
+			})
+		}
+	}
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		order = append(order, "handler")
+	}), mk("outer"), mk("inner"))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/", nil))
+	if strings.Join(order, ",") != "outer,inner,handler" {
+		t.Errorf("order %v", order)
+	}
+}
+
+func TestRecoverTurnsPanicsInto500(t *testing.T) {
+	var buf bytes.Buffer
+	log := slog.New(slog.NewTextHandler(&buf, nil))
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("boom")
+	}), Recover(log))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("status %d, want 500", rec.Code)
+	}
+	if !strings.Contains(buf.String(), "boom") {
+		t.Errorf("panic value not logged: %s", buf.String())
+	}
+}
+
+func TestAccessLogRecordsStatusAndBytes(t *testing.T) {
+	var buf bytes.Buffer
+	log := slog.New(slog.NewTextHandler(&buf, nil))
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+		w.Write([]byte("short and stout"))
+	}), AccessLog(log))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/teapot?x=1", nil))
+	line := buf.String()
+	for _, want := range []string{"status=418", "bytes=15", "/teapot?x=1", "method=GET"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("access log %q missing %q", line, want)
+		}
+	}
+}
+
+func TestAccessLogDefaultsTo200(t *testing.T) {
+	var buf bytes.Buffer
+	log := slog.New(slog.NewTextHandler(&buf, nil))
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("implicit 200"))
+	}), AccessLog(log))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/", nil))
+	if !strings.Contains(buf.String(), "status=200") {
+		t.Errorf("access log %q missing implicit 200", buf.String())
+	}
+}
+
+// TestLimitBoundsConcurrency admits at most n requests at once: with
+// n=2 and 4 concurrent slow requests, the peak observed concurrency is
+// exactly 2.
+func TestLimitBoundsConcurrency(t *testing.T) {
+	var mu sync.Mutex
+	inflight, peak := 0, 0
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		inflight++
+		if inflight > peak {
+			peak = inflight
+		}
+		mu.Unlock()
+		time.Sleep(30 * time.Millisecond)
+		mu.Lock()
+		inflight--
+		mu.Unlock()
+	}), Limit(2))
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/", nil))
+		}()
+	}
+	wg.Wait()
+	if peak != 2 {
+		t.Errorf("peak concurrency %d, want 2", peak)
+	}
+}
+
+// TestLimitShedsOnCancelledWait rejects a waiting request 503 when its
+// context ends before a slot frees.
+func TestLimitSheds(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+	}), Limit(1))
+
+	go func() {
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/", nil))
+	}()
+	<-entered
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil).WithContext(ctx))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("status %d, want 503", rec.Code)
+	}
+	close(release)
+}
+
+func TestTimeoutSetsDeadline(t *testing.T) {
+	var deadline time.Time
+	var ok bool
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		deadline, ok = r.Context().Deadline()
+	}), Timeout(time.Minute))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/", nil))
+	if !ok {
+		t.Fatal("no deadline on request context")
+	}
+	if until := time.Until(deadline); until <= 0 || until > time.Minute {
+		t.Errorf("deadline %v away, want within (0, 1m]", until)
+	}
+}

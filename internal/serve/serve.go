@@ -1,0 +1,128 @@
+// Package serve is the online front door of the reproduction: an HTTP
+// API that exposes the experiment registry, demand estimates and
+// attribute-spread curves of core.Study over JSON and CSV.
+//
+// The design exploits the engine's determinism. Every result is a pure
+// function of (seed, config) — never of build order, worker count or
+// interleaving — so responses are immutable once computed and aggressive
+// caching is sound end to end:
+//
+//   - Studies live in a bounded LRU keyed by (scale, seed, extraction).
+//     Distinct configurations are served concurrently; duplicate cold
+//     requests for one configuration coalesce through the engine's
+//     per-key singleflight memoization (internal/memo), so K concurrent
+//     requests trigger exactly one artifact build.
+//   - Marshaled response bodies are cached per (study, endpoint,
+//     format), again with singleflight, so the steady-state hot path is
+//     a byte-slice write.
+//   - ETags derive from the study's stable config hash plus the
+//     endpoint — not from the body — so an If-None-Match revalidation
+//     is answered 304 before any study or body is touched.
+//
+// Production middleware bounds in-flight concurrency, enforces
+// per-request timeouts via context, recovers panics, and emits
+// structured access logs; Shutdown drains in-flight requests.
+package serve
+
+import (
+	"context"
+	"log/slog"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Options configures a Server. Zero values take production-sane
+// defaults.
+type Options struct {
+	// Studies bounds the study LRU: how many (scale, seed, extraction)
+	// configurations are kept warm (default 4).
+	Studies int
+	// MaxInFlight bounds concurrently served requests; excess requests
+	// wait for a slot and fail 503 if their context ends first
+	// (default 64).
+	MaxInFlight int
+	// Timeout is the per-request budget enforced via context
+	// (default 2 minutes).
+	Timeout time.Duration
+	// Workers bounds each study's intra-artifact concurrency
+	// (0: GOMAXPROCS). Results never depend on it.
+	Workers int
+	// Logger receives structured access and error logs
+	// (nil: slog.Default()).
+	Logger *slog.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.Studies <= 0 {
+		o.Studies = 4
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 64
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 2 * time.Minute
+	}
+	if o.Logger == nil {
+		o.Logger = slog.Default()
+	}
+	return o
+}
+
+// Server serves the study API. Create one with New; it is safe for
+// concurrent use.
+type Server struct {
+	opts    Options
+	log     *slog.Logger
+	cache   *studyCache
+	metrics *metrics
+	start   time.Time
+	httpSrv *http.Server
+
+	// testDelay, when set (tests only), runs inside the instrumented
+	// handler before the endpoint logic — a hook to hold requests
+	// in-flight for shutdown-drain tests.
+	testDelay func(endpoint string)
+}
+
+// New returns a Server over opts.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:    opts,
+		log:     opts.Logger,
+		cache:   newStudyCache(opts.Studies, opts.Workers),
+		metrics: newMetrics(),
+		start:   time.Now(),
+	}
+	s.httpSrv = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s
+}
+
+// Start serves HTTP on ln until Shutdown. It returns nil after a clean
+// Shutdown.
+func (s *Server) Start(ln net.Listener) error {
+	err := s.httpSrv.Serve(ln)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// ListenAndServe listens on addr and calls Start.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Start(ln)
+}
+
+// Shutdown stops accepting new connections and blocks until in-flight
+// requests drain or ctx expires (returning ctx's error in that case).
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.httpSrv.Shutdown(ctx)
+}

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// metrics aggregates per-endpoint request timings for /v1/stats.
+type metrics struct {
+	mu sync.Mutex
+	m  map[string]*endpointAgg
+}
+
+type endpointAgg struct {
+	count       int64
+	notModified int64
+	errors      int64
+	totalNS     int64
+	maxNS       int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{m: make(map[string]*endpointAgg)}
+}
+
+func (m *metrics) observe(endpoint string, status int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	a := m.m[endpoint]
+	if a == nil {
+		a = &endpointAgg{}
+		m.m[endpoint] = a
+	}
+	a.count++
+	if status == http.StatusNotModified {
+		a.notModified++
+	}
+	if status >= 400 {
+		a.errors++
+	}
+	ns := d.Nanoseconds()
+	a.totalNS += ns
+	if ns > a.maxNS {
+		a.maxNS = ns
+	}
+}
+
+// EndpointStats is one endpoint's aggregate request timings on the
+// /v1/stats wire.
+type EndpointStats struct {
+	Endpoint    string  `json:"endpoint"`
+	Count       int64   `json:"count"`
+	NotModified int64   `json:"not_modified"`
+	Errors      int64   `json:"errors"`
+	MeanMS      float64 `json:"mean_ms"`
+	MaxMS       float64 `json:"max_ms"`
+}
+
+func (m *metrics) snapshot() []EndpointStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]EndpointStats, 0, len(m.m))
+	for name, a := range m.m {
+		s := EndpointStats{
+			Endpoint:    name,
+			Count:       a.count,
+			NotModified: a.notModified,
+			Errors:      a.errors,
+			MaxMS:       float64(a.maxNS) / 1e6,
+		}
+		if a.count > 0 {
+			s.MeanMS = float64(a.totalNS) / float64(a.count) / 1e6
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Endpoint < out[j].Endpoint })
+	return out
+}
+
+// StudyStats describes one cached study on the /v1/stats wire.
+type StudyStats struct {
+	Scale      string          `json:"scale"`
+	Seed       uint64          `json:"seed"`
+	Extraction bool            `json:"extraction"`
+	ConfigHash string          `json:"config_hash"`
+	Builds     core.BuildStats `json:"builds"`
+	Bodies     int             `json:"cached_bodies"`
+}
+
+// StatsWire is the GET /v1/stats JSON document: cache occupancy,
+// per-study build counters (the singleflight observability surface) and
+// per-endpoint request timings.
+type StatsWire struct {
+	UptimeMS      float64         `json:"uptime_ms"`
+	CacheCapacity int             `json:"cache_capacity"`
+	Evictions     int             `json:"evictions"`
+	Studies       []StudyStats    `json:"studies"`
+	Endpoints     []EndpointStats `json:"endpoints"`
+}
+
+// Stats snapshots the server's observable state. It is what /v1/stats
+// serves; tests use it to assert request coalescing via BuildStats.
+func (s *Server) Stats() StatsWire {
+	entries, evictions := s.cache.snapshot()
+	wire := StatsWire{
+		UptimeMS:      float64(time.Since(s.start).Microseconds()) / 1000,
+		CacheCapacity: s.opts.Studies,
+		Evictions:     evictions,
+		Endpoints:     s.metrics.snapshot(),
+	}
+	for _, e := range entries {
+		wire.Studies = append(wire.Studies, StudyStats{
+			Scale:      e.key.Scale,
+			Seed:       e.key.Seed,
+			Extraction: e.key.Extraction,
+			ConfigHash: e.cfg.Hash(),
+			Builds:     e.study.BuildStats(),
+			Bodies:     e.bodies.Len(),
+		})
+	}
+	return wire
+}
