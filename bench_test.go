@@ -14,6 +14,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -226,7 +227,8 @@ func BenchmarkFig9Robustness(b *testing.B) {
 }
 
 // BenchmarkEndToEndPipeline measures the full extraction path on a
-// small web: render HTML → parse → extract → aggregate → index.
+// small web: render HTML → tokenize → match → index, via the streaming
+// pipeline.
 func BenchmarkEndToEndPipeline(b *testing.B) {
 	web, err := synth.Generate(synth.Config{
 		Domain: entity.Banks, Entities: 300, DirectoryHosts: 450, Seed: 3,
@@ -240,6 +242,78 @@ func BenchmarkEndToEndPipeline(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkExtractIndexes is the cold-build headline of the streaming
+// extraction PR: the same web extracted by the fused streaming pipeline
+// (ExtractIndexes) versus the retained-DOM pipeline it replaced —
+// render []Page, htmlx.Parse per page, joined Text, regex matching —
+// replicated here verbatim as the measured baseline. Compare ns/op and
+// allocs/op between the two sub-benchmarks; scripts/bench.sh records
+// both in BENCH_4.json.
+func BenchmarkExtractIndexes(b *testing.B) {
+	web, err := synth.Generate(synth.Config{
+		Domain: entity.Banks, Entities: 300, DirectoryHosts: 450, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("streaming", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			idxs, err := web.ExtractIndexes(nil, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if idxs[entity.AttrPhone].TotalPostings() == 0 {
+				b.Fatal("empty phone index")
+			}
+		}
+	})
+	b.Run("dom", func(b *testing.B) {
+		x, err := extract.New(web.DB, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		workers := runtime.GOMAXPROCS(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			attrs := entity.AttrsFor(web.Config.Domain)
+			sharded := make(map[entity.Attr]*index.ShardedBuilder, len(attrs))
+			for _, a := range attrs {
+				universe := web.Config.Entities
+				if a == entity.AttrHomepage {
+					universe = len(web.DB.WithHomepage())
+				}
+				sharded[a] = index.NewShardedBuilder(web.Config.Domain, a, universe, 4*workers)
+			}
+			siteCh := make(chan *synth.Site, workers)
+			var wg sync.WaitGroup
+			for wk := 0; wk < workers; wk++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for s := range siteCh {
+						for _, p := range web.RenderSite(s) {
+							for _, m := range x.Page(p.HTML) {
+								if bd, ok := sharded[m.Attr]; ok {
+									bd.Add(s.Host, m.EntityID)
+								}
+							}
+						}
+					}
+				}()
+			}
+			for si := range web.Sites {
+				siteCh <- &web.Sites[si]
+			}
+			close(siteCh)
+			wg.Wait()
+			idx, err := sharded[entity.AttrPhone].Build()
+			if err != nil || idx.TotalPostings() == 0 {
+				b.Fatal("empty phone index")
+			}
+		}
+	})
 }
 
 // BenchmarkRunAll measures the full reproduction — every table and

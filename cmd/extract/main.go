@@ -59,8 +59,9 @@ func run() error {
 	}
 	var nb *classify.NaiveBayes
 	if d == entity.Restaurants {
-		pages, labels := web.TrainingPages(400, *seed^0xc1a551f7)
-		nb, err = extract.TrainReviewClassifier(pages, labels)
+		tr := extract.NewTrainer(1)
+		web.TrainingCorpus(400, *seed^0xc1a551f7, tr.Add)
+		nb, err = tr.Classifier()
 		if err != nil {
 			return err
 		}

@@ -40,9 +40,11 @@ func main() {
 	fmt.Printf("WARC archive: %d pages, %.1f MB gzipped, %d hosts\n",
 		len(cdx.Entries), float64(archive.Len())/(1<<20), len(cdx.Hosts()))
 
-	// 2. Train the review classifier on labeled pages (§3.2).
-	pages, labels := web.TrainingPages(300, 99)
-	nb, err := extract.TrainReviewClassifier(pages, labels)
+	// 2. Train the review classifier on labeled pages (§3.2), streamed
+	// page by page through the trainer.
+	tr := extract.NewTrainer(1)
+	web.TrainingCorpus(300, 99, tr.Add)
+	nb, err := tr.Classifier()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,6 +10,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Tokenize lower-cases s and splits it into letter/digit word tokens.
@@ -31,6 +33,11 @@ func Tokenize(s string) []string {
 // NaiveBayes is a binary multinomial Naïve-Bayes model with Laplace
 // smoothing. Class true is "review", class false is "not a review".
 // The zero value is unusable; construct with NewNaiveBayes.
+//
+// Scoring is driven by a precomputed log-likelihood-ratio table (one
+// map hit per token, no math.Log in the loop) that is built lazily on
+// first score and invalidated by Train. Training and scoring must not
+// run concurrently; once trained, any number of goroutines may score.
 type NaiveBayes struct {
 	alpha float64 // Laplace smoothing pseudo-count
 
@@ -38,6 +45,17 @@ type NaiveBayes struct {
 	tokens [2]int // total token count per class
 	counts [2]map[string]int
 	vocab  map[string]struct{}
+
+	table atomic.Pointer[llrTable]
+	mu    sync.Mutex // serializes table rebuilds
+}
+
+// llrTable is the immutable scoring snapshot: the class-prior log odds
+// plus, per vocabulary token, log(P(tok|review)/P(tok|¬review)).
+// Unseen tokens contribute 0 — equal evidence for both classes.
+type llrTable struct {
+	prior float64
+	llr   map[string]float64
 }
 
 // NewNaiveBayes returns an untrained model with the given Laplace
@@ -69,35 +87,109 @@ func (nb *NaiveBayes) Train(text string, isReview bool) {
 		nb.tokens[ci]++
 		nb.vocab[tok] = struct{}{}
 	}
+	nb.table.Store(nil)
+}
+
+// TrainBytes adds one labeled document given as raw bytes, tokenizing
+// with the streaming byte tokenizer (ASCII lower-casing, done in place
+// — the caller's buffer is modified; multi-byte runes are separators,
+// identical to Tokenize on ASCII text). It is the allocation-light path
+// used by the streaming training pipeline: only tokens new to the model
+// allocate.
+func (nb *NaiveBayes) TrainBytes(text []byte, isReview bool) {
+	ci := classIndex(isReview)
+	nb.docs[ci]++
+	start := -1
+	flush := func(lo, hi int) {
+		if hi-lo < 2 {
+			return
+		}
+		tok := string(text[lo:hi])
+		nb.counts[ci][tok]++
+		nb.tokens[ci]++
+		nb.vocab[tok] = struct{}{}
+	}
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+			text[i] = c // lowercase ASCII in place
+		}
+		if c >= 'a' && c <= 'z' || c >= '0' && c <= '9' {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			flush(start, i)
+			start = -1
+		}
+	}
+	if start >= 0 {
+		flush(start, len(text))
+	}
+	nb.table.Store(nil)
 }
 
 // Trained reports whether both classes have at least one document.
 func (nb *NaiveBayes) Trained() bool { return nb.docs[0] > 0 && nb.docs[1] > 0 }
 
+// llrtab returns the current scoring table, rebuilding it if training
+// invalidated the snapshot.
+func (nb *NaiveBayes) llrtab() (*llrTable, error) {
+	if !nb.Trained() {
+		return nil, fmt.Errorf("classify: model needs at least one document of each class")
+	}
+	if t := nb.table.Load(); t != nil {
+		return t, nil
+	}
+	nb.mu.Lock()
+	defer nb.mu.Unlock()
+	if t := nb.table.Load(); t != nil {
+		return t, nil
+	}
+	v := float64(len(nb.vocab))
+	t := &llrTable{
+		prior: math.Log(float64(nb.docs[1]) / float64(nb.docs[0])),
+		llr:   make(map[string]float64, len(nb.vocab)),
+	}
+	for tok := range nb.vocab {
+		p1 := (float64(nb.counts[1][tok]) + nb.alpha) / (float64(nb.tokens[1]) + nb.alpha*v)
+		p0 := (float64(nb.counts[0][tok]) + nb.alpha) / (float64(nb.tokens[0]) + nb.alpha*v)
+		t.llr[tok] = math.Log(p1 / p0)
+	}
+	nb.table.Store(t)
+	return t, nil
+}
+
 // LogOdds returns log P(review | text) - log P(¬review | text) up to the
 // shared normalizer. Positive means "review". It returns an error if the
-// model has not seen both classes.
+// model has not seen both classes. It is a thin wrapper over the
+// streaming scorer, so the string and byte paths produce bit-identical
+// scores; like the scorer, it tokenizes with ASCII lower-casing
+// (multi-byte runes are separators), which matches Tokenize on ASCII
+// text but not on exotic case mappings such as U+0130 or U+212A.
 func (nb *NaiveBayes) LogOdds(text string) (float64, error) {
-	if !nb.Trained() {
-		return 0, fmt.Errorf("classify: model needs at least one document of each class")
+	t, err := nb.llrtab()
+	if err != nil {
+		return 0, err
 	}
-	totalDocs := float64(nb.docs[0] + nb.docs[1])
-	v := float64(len(nb.vocab))
-	score := [2]float64{}
-	for ci := 0; ci < 2; ci++ {
-		score[ci] = math.Log(float64(nb.docs[ci]) / totalDocs)
+	sc := Scorer{t: t}
+	sc.WriteString(text)
+	return sc.LogOdds(), nil
+}
+
+// ScoreBytes scores raw text bytes without building strings or token
+// slices: one table hit per token, ASCII lower-casing on the fly.
+func (nb *NaiveBayes) ScoreBytes(text []byte) (float64, error) {
+	t, err := nb.llrtab()
+	if err != nil {
+		return 0, err
 	}
-	for _, tok := range Tokenize(text) {
-		if _, known := nb.vocab[tok]; !known {
-			continue // unseen tokens contribute equally to both classes
-		}
-		for ci := 0; ci < 2; ci++ {
-			p := (float64(nb.counts[ci][tok]) + nb.alpha) /
-				(float64(nb.tokens[ci]) + nb.alpha*v)
-			score[ci] += math.Log(p)
-		}
-	}
-	return score[1] - score[0], nil
+	sc := Scorer{t: t}
+	sc.Write(text)
+	return sc.LogOdds(), nil
 }
 
 // Classify reports whether text is a review. It returns an error if the
@@ -108,6 +200,74 @@ func (nb *NaiveBayes) Classify(text string) (bool, error) {
 		return false, err
 	}
 	return lo > 0, nil
+}
+
+// NewScorer returns a streaming scorer bound to the model's current
+// training state. A Scorer accumulates log-odds over incrementally
+// written text (Reset starts the next document) and holds only a small
+// reusable token buffer, so steady-state scoring allocates nothing.
+// Not safe for concurrent use; create one per goroutine.
+func (nb *NaiveBayes) NewScorer() (*Scorer, error) {
+	t, err := nb.llrtab()
+	if err != nil {
+		return nil, err
+	}
+	return &Scorer{t: t}, nil
+}
+
+// Scorer is an incremental document scorer over a model snapshot.
+type Scorer struct {
+	t   *llrTable
+	sum float64
+	tok []byte // pending token, lower-cased; spans Write boundaries
+}
+
+// Reset clears accumulated state so the scorer can score a new document.
+func (s *Scorer) Reset() {
+	s.sum = 0
+	s.tok = s.tok[:0]
+}
+
+// Write feeds text bytes. Tokens may span Write boundaries.
+func (s *Scorer) Write(p []byte) {
+	for i := 0; i < len(p); i++ {
+		s.writeByte(p[i])
+	}
+}
+
+// WriteString feeds text given as a string.
+func (s *Scorer) WriteString(p string) {
+	for i := 0; i < len(p); i++ {
+		s.writeByte(p[i])
+	}
+}
+
+func (s *Scorer) writeByte(c byte) {
+	if c >= 'A' && c <= 'Z' {
+		c += 'a' - 'A'
+	}
+	if c >= 'a' && c <= 'z' || c >= '0' && c <= '9' {
+		s.tok = append(s.tok, c)
+		return
+	}
+	s.flush()
+}
+
+func (s *Scorer) flush() {
+	if len(s.tok) >= 2 {
+		if lr, ok := s.t.llr[string(s.tok)]; ok {
+			s.sum += lr
+		}
+	}
+	s.tok = s.tok[:0]
+}
+
+// LogOdds finalizes any pending token and returns the accumulated
+// log-odds including the class prior. The scorer remains usable: more
+// writes continue the same document (the finalize acts as a separator).
+func (s *Scorer) LogOdds() float64 {
+	s.flush()
+	return s.t.prior + s.sum
 }
 
 // Vocabulary returns the number of distinct tokens seen in training.

@@ -1,0 +1,206 @@
+package classify
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/textgen"
+)
+
+func trainedModel() *NaiveBayes {
+	rng := dist.NewRNG(17)
+	nb := NewNaiveBayes(1)
+	for i := 0; i < 120; i++ {
+		nb.Train(textgen.Review(rng, "Golden Kitchen", 4+rng.Intn(4)), true)
+		nb.Train(textgen.Boilerplate(rng, 4+rng.Intn(4)), false)
+	}
+	return nb
+}
+
+// TestScoreBytesMatchesLogOdds pins the linchpin of the streaming
+// extractor's review equivalence: the byte scorer and the string path
+// must produce bit-identical scores on the same text.
+func TestScoreBytesMatchesLogOdds(t *testing.T) {
+	nb := trainedModel()
+	rng := dist.NewRNG(21)
+	for i := 0; i < 50; i++ {
+		text := textgen.Review(rng, "Blue Table", 3+rng.Intn(6))
+		want, err := nb.LogOdds(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := nb.ScoreBytes([]byte(text))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("ScoreBytes = %v, LogOdds = %v on %q", got, want, text)
+		}
+	}
+}
+
+// TestScorerChunkedWritesMatch asserts tokens spanning Write boundaries
+// score identically to a single write — the session feeds text runs of
+// arbitrary lengths.
+func TestScorerChunkedWritesMatch(t *testing.T) {
+	nb := trainedModel()
+	text := []byte("The FOOD was absolutely delicious and the service was friendly 5 stars")
+	want, err := nb.ScoreBytes(append([]byte(nil), text...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		sc, err := nb.NewScorer()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for lo := 0; lo < len(text); {
+			hi := lo + 1 + r.Intn(7)
+			if hi > len(text) {
+				hi = len(text)
+			}
+			sc.Write(text[lo:hi])
+			lo = hi
+		}
+		if got := sc.LogOdds(); got != want {
+			t.Fatalf("chunked score %v != whole score %v", got, want)
+		}
+	}
+}
+
+// TestScorerResetIsolation: scoring one document must not leak into the
+// next after Reset.
+func TestScorerResetIsolation(t *testing.T) {
+	nb := trainedModel()
+	sc, err := nb.NewScorer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Write([]byte("delicious wonderful excellent tasty amazing"))
+	first := sc.LogOdds()
+	sc.Reset()
+	sc.Write([]byte("delicious wonderful excellent tasty amazing"))
+	if second := sc.LogOdds(); second != first {
+		t.Fatalf("score after Reset = %v, want %v", second, first)
+	}
+}
+
+// TestTokenizeVsByteScorerAgreement checks the byte tokenizer recognizes
+// exactly the tokens Tokenize produces on ASCII text, via a model where
+// every token is discriminative.
+func TestTokenizeVsByteScorerAgreement(t *testing.T) {
+	cases := []string{
+		"The FOOD was great!! 5 stars, worth $20.",
+		"a ! b ? single letters drop",
+		"punct.separated,tokens;here|too",
+		"  leading and trailing   ",
+		"MiXeD CaSe ToKeNs 42x7",
+		"", "x", "xy",
+		"café non-ascii bytes split tokens 世界 ok",
+	}
+	nb := NewNaiveBayes(1)
+	nb.Train("dummy positive corpus", true)
+	nb.Train("dummy negative corpus here", false)
+	for _, c := range cases {
+		want, err := nb.LogOdds(c) // string path (shared scorer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := nb.ScoreBytes([]byte(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("byte/string divergence on %q: %v vs %v", c, got, want)
+		}
+	}
+}
+
+// TestTrainBytesMatchesTrain builds two models from the same corpus via
+// the two training entry points and asserts identical scoring behavior.
+func TestTrainBytesMatchesTrain(t *testing.T) {
+	rng := dist.NewRNG(33)
+	var corpus []string
+	var labels []bool
+	for i := 0; i < 60; i++ {
+		corpus = append(corpus, textgen.Review(rng, "Thai Table", 3+rng.Intn(4)))
+		labels = append(labels, true)
+		corpus = append(corpus, textgen.Boilerplate(rng, 3+rng.Intn(4)))
+		labels = append(labels, false)
+	}
+	a := NewNaiveBayes(1)
+	b := NewNaiveBayes(1)
+	for i := range corpus {
+		a.Train(corpus[i], labels[i])
+		b.TrainBytes([]byte(corpus[i]), labels[i])
+	}
+	if a.Vocabulary() != b.Vocabulary() {
+		t.Fatalf("vocab %d vs %d", a.Vocabulary(), b.Vocabulary())
+	}
+	for _, probe := range corpus[:20] {
+		sa, _ := a.LogOdds(probe)
+		sb, _ := b.LogOdds(probe)
+		if sa != sb {
+			t.Fatalf("Train/TrainBytes models diverge on %q: %v vs %v", probe, sa, sb)
+		}
+	}
+}
+
+// TestTrainAfterScoringInvalidatesTable: more training must be visible
+// to subsequent scoring (the LLR snapshot is rebuilt).
+func TestTrainAfterScoringInvalidatesTable(t *testing.T) {
+	nb := NewNaiveBayes(1)
+	nb.Train("delicious food", true)
+	nb.Train("parking hours", false)
+	before, err := nb.LogOdds("zebra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != 0 {
+		t.Fatalf("unseen token with balanced priors should score 0, got %v", before)
+	}
+	nb.Train("zebra zebra zebra wonderful", true)
+	nb.Train("mundane filler", false)
+	after, err := nb.LogOdds("zebra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after <= 0 {
+		t.Fatalf("after positive training, zebra should score positive, got %v", after)
+	}
+}
+
+func TestNewScorerUntrained(t *testing.T) {
+	nb := NewNaiveBayes(1)
+	if _, err := nb.NewScorer(); err == nil {
+		t.Error("untrained NewScorer should fail")
+	}
+	if _, err := nb.ScoreBytes([]byte("x")); err == nil {
+		t.Error("untrained ScoreBytes should fail")
+	}
+}
+
+// TestScoreBytesAllocs pins the streaming score path's allocations.
+func TestScoreBytesAllocs(t *testing.T) {
+	nb := trainedModel()
+	sc, err := nb.NewScorer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := []byte(strings.Repeat("the food was delicious and the service was excellent ", 4))
+	sc.Write(text)
+	_ = sc.LogOdds() // warm the token buffer
+	allocs := testing.AllocsPerRun(100, func() {
+		sc.Reset()
+		sc.Write(text)
+		if sc.LogOdds() == 0 {
+			t.Fatal("degenerate score")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Scorer allocs/op = %v, want 0", allocs)
+	}
+}

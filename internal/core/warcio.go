@@ -34,12 +34,20 @@ func WriteWARC(web *synth.Web, w io.Writer, gz bool) (*warc.CDX, error) {
 	cdx := &warc.CDX{}
 	for si := range web.Sites {
 		site := &web.Sites[si]
-		for _, p := range web.RenderSite(site) {
-			off, n, err := ww.WriteResponse(p.URL, p.HTML)
-			if err != nil {
-				return nil, fmt.Errorf("core: write page %s: %w", p.URL, err)
+		var pageErr error
+		web.RenderPages(site, func(url string, html []byte) {
+			if pageErr != nil {
+				return
 			}
-			cdx.Add(warc.CDXEntry{URI: p.URL, Host: site.Host, Offset: off, Length: n})
+			off, n, err := ww.WriteResponse(url, html)
+			if err != nil {
+				pageErr = fmt.Errorf("core: write page %s: %w", url, err)
+				return
+			}
+			cdx.Add(warc.CDXEntry{URI: url, Host: site.Host, Offset: off, Length: n})
+		})
+		if pageErr != nil {
+			return nil, pageErr
 		}
 	}
 	return cdx, nil

@@ -47,8 +47,11 @@ func (s *Study) ReviewClassifier() (*classify.NaiveBayes, error) {
 		if err != nil {
 			return nil, err
 		}
-		pages, labels := w.TrainingPages(400, s.cfg.Seed^0xc1a551f7)
-		nb, err := extract.TrainReviewClassifier(pages, labels)
+		// Stream the labeled corpus through the trainer page by page —
+		// no [][]byte corpus is ever materialized.
+		tr := extract.NewTrainer(1)
+		w.TrainingCorpus(400, s.cfg.Seed^0xc1a551f7, tr.Add)
+		nb, err := tr.Classifier()
 		if err != nil {
 			return nil, fmt.Errorf("core: train review classifier: %w", err)
 		}

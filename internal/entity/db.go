@@ -1,6 +1,7 @@
 package entity
 
 import (
+	"bytes"
 	"fmt"
 	"strings"
 
@@ -196,6 +197,68 @@ func (db *DB) LookupISBN(isbn string) (int, bool) {
 func (db *DB) LookupHomepage(u string) (int, bool) {
 	id, ok := db.byHomepage[CanonicalURL(u)]
 	return id, ok
+}
+
+// LookupHomepageKey looks up an already-canonicalized homepage key
+// (produced by AppendCanonicalURL). It performs no allocation, which is
+// why the streaming extraction session uses the two-step
+// AppendCanonicalURL + LookupHomepageKey form instead of LookupHomepage.
+func (db *DB) LookupHomepageKey(key []byte) (int, bool) {
+	id, ok := db.byHomepage[string(key)]
+	return id, ok
+}
+
+// AppendCanonicalURL appends the canonical form of the URL bytes u to
+// dst (see CanonicalURL for the rules) and returns the extended slice.
+// The ASCII path — every URL the synthetic web renders — allocates only
+// when dst needs to grow; non-ASCII input falls back to the string path
+// so the two functions can never disagree.
+func AppendCanonicalURL(dst, u []byte) []byte {
+	s := bytes.TrimSpace(u)
+	switch {
+	case len(s) >= 8 && asciiFoldEq(s[:8], "https://"):
+		s = s[8:]
+	case len(s) >= 7 && asciiFoldEq(s[:7], "http://"):
+		s = s[7:]
+	}
+	if i := bytes.IndexAny(s, "?#"); i >= 0 {
+		s = s[:i]
+	}
+	s = bytes.TrimSuffix(s, []byte("/"))
+	for _, c := range s {
+		if c >= 0x80 {
+			return append(dst, strings.ToLower(string(s))...)
+		}
+	}
+	for _, c := range s {
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		dst = append(dst, c)
+	}
+	return dst
+}
+
+// asciiFoldEq reports whether b equals the ASCII string s under ASCII
+// case folding; for the all-ASCII patterns used here it is equivalent
+// to strings.EqualFold on the same byte ranges.
+func asciiFoldEq(b []byte, s string) bool {
+	if len(b) != len(s) {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c, d := b[i], s[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if d >= 'A' && d <= 'Z' {
+			d += 'a' - 'A'
+		}
+		if c != d {
+			return false
+		}
+	}
+	return true
 }
 
 // WithHomepage returns the IDs of entities that have a homepage.

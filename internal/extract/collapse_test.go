@@ -1,0 +1,72 @@
+package extract
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// collapseAll reduces runs through appendCollapsed the way a session
+// does: per-run collapse plus the inter-run join separator.
+func collapseAll(runs []string) string {
+	var dst []byte
+	started, pending := false, false
+	for _, r := range runs {
+		dst = appendCollapsed(dst, []byte(r), &started, &pending)
+		pending = true
+	}
+	return string(dst)
+}
+
+// fieldsJoin is the DOM-path reduction (Node.Text): concatenate runs
+// with trailing spaces, then Fields-collapse.
+func fieldsJoin(runs []string) string {
+	var b strings.Builder
+	for _, r := range runs {
+		b.WriteString(r)
+		b.WriteByte(' ')
+	}
+	return strings.Join(strings.Fields(b.String()), " ")
+}
+
+func TestAppendCollapsedMatchesFields(t *testing.T) {
+	cases := [][]string{
+		{},
+		{""},
+		{"", "", ""},
+		{"plain"},
+		{"  leading"},
+		{"trailing   "},
+		{"a", "b"},
+		{"a ", " b"},
+		{"  ", "only", "  ", "spaces", "   "},
+		{"tab\tand\nnewline\r\n", "next"},
+		{"unicode\u00a0space", "and\u2003em space", "\u1680ogham"},
+		{"mixed é café", "世界"},
+		{"vertical\vtab", "form\ffeed"},
+		{"invalid \xff utf8 \xc3"},
+	}
+	for _, runs := range cases {
+		if got, want := collapseAll(runs), fieldsJoin(runs); got != want {
+			t.Errorf("collapse(%q) = %q, want %q", runs, got, want)
+		}
+	}
+}
+
+func TestAppendCollapsedRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	alphabet := []rune{'a', 'B', '0', ' ', ' ', '\t', '\n', ' ', ' ', 'é', '世', '\v'}
+	for trial := 0; trial < 500; trial++ {
+		var runs []string
+		for n := r.Intn(4); n >= 0; n-- {
+			var sb strings.Builder
+			for m := r.Intn(20); m >= 0; m-- {
+				sb.WriteRune(alphabet[r.Intn(len(alphabet))])
+			}
+			runs = append(runs, sb.String())
+		}
+		if got, want := collapseAll(runs), fieldsJoin(runs); got != want {
+			t.Fatalf("collapse(%q) = %q, want %q", runs, got, want)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package extract
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/classify"
 	"repro/internal/entity"
@@ -17,11 +18,32 @@ type Mention struct {
 // Extractor extracts entity mentions from pages for one domain database.
 // The zero value is unusable; construct with New. An Extractor is safe
 // for concurrent use once built (the classifier is read-only at
-// extraction time).
+// extraction time). Page is the retained-DOM reference path; NewSession
+// returns the streaming, allocation-free path that must produce
+// identical mentions on rendered pages.
 type Extractor struct {
 	db         *entity.DB
 	reviewClf  *classify.NaiveBayes // nil disables review detection
 	reviewAttr bool                 // whether the domain studies reviews
+
+	// The sessions' multi-pattern automaton over the database's rendered
+	// attribute forms, built lazily so the DOM-only paths never pay for it.
+	acOnce sync.Once
+	ac     *AhoCorasick
+	acErr  error
+}
+
+// automaton returns the domain's session automaton (phones for local
+// businesses, ISBNs + markers for books), building it on first use.
+func (x *Extractor) automaton() (*AhoCorasick, error) {
+	x.acOnce.Do(func() {
+		if x.db.Domain == entity.Books {
+			x.ac, x.acErr = ISBNAutomaton(x.db)
+		} else {
+			x.ac, x.acErr = PhoneAutomaton(x.db)
+		}
+	})
+	return x.ac, x.acErr
 }
 
 // New returns an Extractor for db. reviewClf may be nil when review
@@ -90,18 +112,16 @@ func (x *Extractor) Page(html []byte) []Mention {
 }
 
 // TrainReviewClassifier builds a review classifier from labeled example
-// pages (HTML in, label = page is a review page). It is a convenience
-// used by the pipeline and examples.
+// pages (HTML in, label = page is a review page). It is the materialized
+// convenience form of Trainer, which streams pages without retaining
+// them.
 func TrainReviewClassifier(pages [][]byte, labels []bool) (*classify.NaiveBayes, error) {
 	if len(pages) != len(labels) {
 		return nil, fmt.Errorf("extract: %d pages vs %d labels", len(pages), len(labels))
 	}
-	nb := classify.NewNaiveBayes(1)
+	tr := NewTrainer(1)
 	for i, p := range pages {
-		nb.Train(htmlx.Parse(p).Text(), labels[i])
+		tr.Add(p, labels[i])
 	}
-	if !nb.Trained() {
-		return nil, fmt.Errorf("extract: training data must include both classes")
-	}
-	return nb, nil
+	return tr.Classifier()
 }

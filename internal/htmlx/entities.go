@@ -1,7 +1,7 @@
 package htmlx
 
 import (
-	"strconv"
+	"bytes"
 	"strings"
 	"unicode/utf8"
 )
@@ -51,35 +51,112 @@ func DecodeEntities(s string) string {
 	return b.String()
 }
 
+// AppendDecoded appends src to dst with HTML character references
+// decoded, using exactly the same rules as DecodeEntities. It is the
+// allocation-free building block of the streaming visitor: dst is
+// typically a reused scratch buffer.
+func AppendDecoded(dst, src []byte) []byte {
+	for i := 0; i < len(src); {
+		c := src[i]
+		if c != '&' {
+			dst = append(dst, c)
+			i++
+			continue
+		}
+		r, width, ok := decodeOneEntity(src[i:])
+		if !ok {
+			dst = append(dst, '&')
+			i++
+			continue
+		}
+		dst = utf8.AppendRune(dst, r)
+		i += width
+	}
+	return dst
+}
+
 // decodeOneEntity decodes a reference at the start of s (which begins
 // with '&'). It returns the rune, the number of bytes consumed, and
-// whether decoding succeeded.
-func decodeOneEntity(s string) (rune, int, bool) {
+// whether decoding succeeded. Generic so the string (tokenizer) and
+// []byte (streaming) paths share one implementation and cannot drift.
+func decodeOneEntity[T ~string | ~[]byte](s T) (rune, int, bool) {
 	if len(s) < 3 { // shortest is &x;
 		return 0, 0, false
 	}
-	end := strings.IndexByte(s[:min(len(s), 32)], ';')
+	end := -1
+	for i := 1; i < min(len(s), 32); i++ {
+		if s[i] == ';' {
+			end = i
+			break
+		}
+	}
 	if end < 2 {
 		return 0, 0, false
 	}
 	body := s[1:end]
 	if body[0] == '#' {
 		num := body[1:]
-		base := 10
+		base := int64(10)
 		if len(num) > 1 && (num[0] == 'x' || num[0] == 'X') {
 			base = 16
 			num = num[1:]
 		}
-		v, err := strconv.ParseInt(num, base, 32)
-		if err != nil || v <= 0 || v > utf8.MaxRune {
+		v, ok := parseEntityNum(num, base)
+		if !ok || v <= 0 || v > utf8.MaxRune {
 			return 0, 0, false
 		}
 		return rune(v), end + 1, true
 	}
-	if r, ok := namedEntities[body]; ok {
+	if r, ok := namedEntities[string(body)]; ok {
 		return r, end + 1, true
 	}
 	return 0, 0, false
+}
+
+// parseEntityNum parses a numeric character-reference body with the
+// same accept/reject behavior as strconv.ParseInt(num, base, 32): an
+// optional sign, digits of the base, and a value within int32 range.
+// Hand-rolled so the []byte path never converts to string.
+func parseEntityNum[T ~string | ~[]byte](num T, base int64) (int64, bool) {
+	if len(num) == 0 {
+		return 0, false
+	}
+	i := 0
+	neg := false
+	switch num[0] {
+	case '+':
+		i++
+	case '-':
+		neg = true
+		i++
+	}
+	if i == len(num) {
+		return 0, false
+	}
+	var v int64
+	for ; i < len(num); i++ {
+		var d int64
+		switch c := num[i]; {
+		case c >= '0' && c <= '9':
+			d = int64(c - '0')
+		case base == 16 && c >= 'a' && c <= 'f':
+			d = int64(c-'a') + 10
+		case base == 16 && c >= 'A' && c <= 'F':
+			d = int64(c-'A') + 10
+		default:
+			return 0, false
+		}
+		v = v*base + d
+		if v > 1<<31 { // past int32 range either sign: ParseInt errors
+			return 0, false
+		}
+	}
+	if neg {
+		v = -v
+	} else if v == 1<<31 {
+		return 0, false // 2^31 overflows int32 only when positive
+	}
+	return v, true
 }
 
 // EscapeText escapes the five significant HTML characters in s for safe
@@ -89,10 +166,69 @@ func EscapeText(s string) string {
 	if !strings.ContainsAny(s, `&<>"'`) {
 		return s
 	}
-	r := strings.NewReplacer(
-		"&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "'", "&#39;",
-	)
-	return r.Replace(s)
+	var b bytes.Buffer
+	b.Grow(len(s) + 8)
+	WriteEscaped(&b, s)
+	return b.String()
+}
+
+// WriteEscaped writes s to b with the same escaping as EscapeText but
+// without building an intermediate string — the streaming renderer's
+// zero-allocation escape path.
+func WriteEscaped(b *bytes.Buffer, s string) {
+	if !strings.ContainsAny(s, `&<>"'`) {
+		b.WriteString(s)
+		return
+	}
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '&':
+			b.WriteString("&amp;")
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		case '"':
+			b.WriteString("&quot;")
+		case '\'':
+			b.WriteString("&#39;")
+		default:
+			b.WriteByte(c)
+		}
+	}
+}
+
+// EscapeWriter adapts a bytes.Buffer into a text sink that escapes
+// everything written through it. It satisfies textgen's writer interface
+// so prose generators can stream straight into a rendered page.
+type EscapeWriter struct {
+	B *bytes.Buffer
+}
+
+// WriteString writes s escaped. The returned length is len(s) (the
+// logical, pre-escape length), mirroring io conventions loosely.
+func (w EscapeWriter) WriteString(s string) (int, error) {
+	WriteEscaped(w.B, s)
+	return len(s), nil
+}
+
+// WriteByte writes one byte, escaped if significant.
+func (w EscapeWriter) WriteByte(c byte) error {
+	switch c {
+	case '&':
+		w.B.WriteString("&amp;")
+	case '<':
+		w.B.WriteString("&lt;")
+	case '>':
+		w.B.WriteString("&gt;")
+	case '"':
+		w.B.WriteString("&quot;")
+	case '\'':
+		w.B.WriteString("&#39;")
+	default:
+		w.B.WriteByte(c)
+	}
+	return nil
 }
 
 func min(a, b int) int {

@@ -1,0 +1,182 @@
+package htmlx
+
+import (
+	"strings"
+	"testing"
+)
+
+// streamedView runs the streaming visitor and reduces its output the
+// same way the DOM path does: text runs joined and whitespace-collapsed
+// like Node.Text, anchors trimmed and filtered like Node.Anchors.
+func streamedView(st *Streamer, src []byte) (text string, anchors []string) {
+	var b strings.Builder
+	st.Stream(src,
+		func(run []byte) {
+			b.Write(run)
+			b.WriteByte(' ')
+		},
+		func(href []byte) {
+			if h := strings.TrimSpace(string(href)); h != "" {
+				anchors = append(anchors, h)
+			}
+		})
+	return strings.Join(strings.Fields(b.String()), " "), anchors
+}
+
+// assertStreamMatchesParse is the shared oracle: on any input, the
+// streaming visitor must reproduce the retained-DOM path exactly.
+func assertStreamMatchesParse(t *testing.T, src []byte) {
+	t.Helper()
+	doc := Parse(src)
+	wantText := doc.Text()
+	wantAnchors := doc.Anchors()
+	var st Streamer
+	gotText, gotAnchors := streamedView(&st, src)
+	if gotText != wantText {
+		t.Fatalf("text mismatch on %q:\n stream %q\n dom    %q", src, gotText, wantText)
+	}
+	if len(gotAnchors) != len(wantAnchors) {
+		t.Fatalf("anchor count mismatch on %q: stream %v, dom %v", src, gotAnchors, wantAnchors)
+	}
+	for i := range gotAnchors {
+		if gotAnchors[i] != wantAnchors[i] {
+			t.Fatalf("anchor %d mismatch on %q: stream %q, dom %q", i, src, gotAnchors[i], wantAnchors[i])
+		}
+	}
+}
+
+// streamCorpus collects the awkward shapes the tokenizer tolerates;
+// it seeds both the unit sweep and the fuzzer.
+var streamCorpus = []string{
+	"",
+	"plain text only",
+	"<html><body><h1>Title</h1><p>one</p><p>two</p></body></html>",
+	`<a href="http://x.example.com/">site</a>`,
+	`<A HREF="HTTP://UP.example/">caps</A>`,
+	`<a href='single'>q</a><a href=unquoted>u</a><a href>bool</a>`,
+	`<a href="" >empty</a><a href="  ">spaces</a>`,
+	`<a href="first" href="second">dup</a>`,
+	`<a id="x" class="y" href="later">attrs before</a>`,
+	`<div title="a>b">angle in attr</div>after`,
+	`<p>a &amp; b &lt;c&gt; &#39;d&#39; &middot; &#x41; &unknown; &#-5; &#xzz;</p>`,
+	"<script>var x = '<p>not text</p>';</script>visible",
+	"<style>p { color: red }</style>shown",
+	"<script>unterminated raw",
+	"<script></scriptfoo><p>swallowed by open script</p></script><p>back</p>",
+	"<script></SCRIPT><b>case-insensitive close</b>",
+	"<script/>self-closing script is not raw<p>text</p>",
+	"<SCRIPT>RAW</SCRIPT>tail",
+	"text with a stray < here and < there",
+	"<",
+	"<1 not a tag",
+	"<!-- comment <p>hidden</p> -->shown",
+	"<!-- unterminated comment",
+	"<!DOCTYPE html><p>x</p>",
+	"<!weird decl>y",
+	"<br><img src=i.png><hr/>void elements<input>",
+	"<div><p>misnested</div>text</p>more",
+	"</nothing>stray end tag",
+	"</>empty end tag",
+	"<p attr=>empty unquoted</p>",
+	`<p a = "v">spaced equals</p>`,
+	`<p ="junk">junk attr</p>`,
+	"<p/ >slash junk</p>",
+	`<a href="un terminated quote>rest`,
+	"<a href=\"&amp;x=1&y=2\">entity in href</a>",
+	"<style>s</style><script>t</script><a href=z>after raws</a>",
+	"<div>\t\n  collapse \r\n whitespace\f</div>",
+	"<p>&#1114111; &#1114112; &#x10FFFF; &#xD800;</p>",
+	"<p>non-ascii \u00e9\u4e16\u754c &nbsp;end</p>",
+	"<textarea><p>parsed normally (not raw here)</p></textarea>",
+	"<a\nhref=nl>newline in tag</a>",
+	"<a href=v><a href=w>nested anchors</a></a>",
+	"<script><a href=hidden.example>in raw</a></script><a href=real>r</a>",
+}
+
+func TestStreamMatchesParseCorpus(t *testing.T) {
+	for _, c := range streamCorpus {
+		assertStreamMatchesParse(t, []byte(c))
+	}
+}
+
+func TestStreamerReuseAcrossPages(t *testing.T) {
+	var st Streamer
+	for i := 0; i < 3; i++ {
+		for _, c := range streamCorpus {
+			doc := Parse([]byte(c))
+			gotText, _ := streamedView(&st, []byte(c))
+			if gotText != doc.Text() {
+				t.Fatalf("reused streamer diverged on %q (pass %d)", c, i)
+			}
+		}
+	}
+}
+
+func TestStreamNilCallbacks(t *testing.T) {
+	// Must not panic with either callback absent.
+	src := []byte(`<p>text</p><a href="x">l</a>`)
+	Stream(src, nil, nil)
+	Stream(src, func([]byte) {}, nil)
+	Stream(src, nil, func([]byte) {})
+}
+
+func TestStreamAnchorsIncludeRawSubtreeElements(t *testing.T) {
+	// An <a> that is a tree child of a script element left open by a
+	// mismatched close tag is still found by the DOM's Anchors walk; the
+	// streamer must agree (text, by contrast, is excluded there).
+	src := []byte("<script></scriptx><a href=inside.example>t</a>")
+	assertStreamMatchesParse(t, src)
+	doc := Parse(src)
+	if len(doc.Anchors()) != 1 {
+		t.Fatalf("fixture lost its anchor: %v", doc.Anchors())
+	}
+	if doc.Text() != "" {
+		t.Fatalf("fixture text should be swallowed by open script, got %q", doc.Text())
+	}
+}
+
+func TestStreamZeroAllocSteadyState(t *testing.T) {
+	src := []byte(`<html><body><h1>Caf&eacute; &amp; Bar</h1>
+<p>Phone: (415) 555-0133</p>
+<p><a href="http://www.cafe0.example.com/">Visit website</a></p>
+<script>skip()</script>
+<p>closing &middot; line</p></body></html>`)
+	var st Streamer
+	sink := 0
+	onText := func(b []byte) { sink += len(b) }
+	onAnchor := func(b []byte) { sink += len(b) }
+	st.Stream(src, onText, onAnchor) // warm scratch buffers
+	allocs := testing.AllocsPerRun(100, func() {
+		st.Stream(src, onText, onAnchor)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Stream allocs/op = %v, want 0", allocs)
+	}
+	if sink == 0 {
+		t.Fatal("callbacks never ran")
+	}
+}
+
+func FuzzStreamVsParse(f *testing.F) {
+	for _, c := range streamCorpus {
+		f.Add([]byte(c))
+	}
+	var st Streamer
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc := Parse(data)
+		wantText := doc.Text()
+		wantAnchors := doc.Anchors()
+		gotText, gotAnchors := streamedView(&st, data)
+		if gotText != wantText {
+			t.Fatalf("text mismatch:\n stream %q\n dom    %q", gotText, wantText)
+		}
+		if len(gotAnchors) != len(wantAnchors) {
+			t.Fatalf("anchor mismatch: stream %v, dom %v", gotAnchors, wantAnchors)
+		}
+		for i := range gotAnchors {
+			if gotAnchors[i] != wantAnchors[i] {
+				t.Fatalf("anchor %d: stream %q, dom %q", i, gotAnchors[i], wantAnchors[i])
+			}
+		}
+	})
+}

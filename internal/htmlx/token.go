@@ -8,6 +8,7 @@
 package htmlx
 
 import (
+	"bytes"
 	"strings"
 )
 
@@ -128,20 +129,74 @@ func (z *Tokenizer) text() Token {
 }
 
 // rawText consumes content until the closing tag of the pending raw
-// element (case-insensitive), emitting it as a single text token. The
-// closing tag itself is left for the next call.
+// element (ASCII-case-insensitive), emitting it as a single text token.
+// The closing tag itself is left for the next call.
 func (z *Tokenizer) rawText() Token {
-	closing := "</" + z.rawTag
+	tag := z.rawTag
 	z.rawTag = ""
-	low := strings.ToLower(string(z.src[z.pos:]))
-	idx := strings.Index(low, closing)
 	start := z.pos
+	idx := indexCloseTagFold(z.src, z.pos, tag)
 	if idx < 0 {
 		z.pos = len(z.src)
 	} else {
-		z.pos += idx
+		z.pos = idx
 	}
 	return Token{Type: TextToken, Data: string(z.src[start:z.pos])}
+}
+
+// indexCloseTagFold returns the absolute index of the first "</"+tag at
+// or after pos in src, matching the tag bytes ASCII-case-insensitively,
+// or -1. Shared by the tokenizer's raw-text scan and the streaming
+// visitor so both skip raw content identically.
+func indexCloseTagFold(src []byte, pos int, tag string) int {
+	n := 2 + len(tag)
+	for i := pos; i+n <= len(src); i++ {
+		if src[i] == '<' && src[i+1] == '/' && asciiFoldEq(src[i+2:i+n], tag) {
+			return i
+		}
+	}
+	return -1
+}
+
+// asciiFoldEq reports whether b equals s under ASCII case folding.
+// Generic over the second operand so the tokenizer (string names) and
+// the streaming visitor (byte spans) share one fold implementation.
+func asciiFoldEq[T ~string | ~[]byte](b []byte, s T) bool {
+	if len(b) != len(s) {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c, d := b[i], s[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if d >= 'A' && d <= 'Z' {
+			d += 'a' - 'A'
+		}
+		if c != d {
+			return false
+		}
+	}
+	return true
+}
+
+// lowerASCII lower-cases the ASCII letters of s, leaving all other
+// bytes (including multi-byte runes) untouched — the HTML5 rule for
+// tag and attribute names. Allocates only when an upper-case ASCII
+// letter is present.
+func lowerASCII(s string) string {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c >= 'A' && c <= 'Z' {
+			b := []byte(s)
+			for j := i; j < len(b); j++ {
+				if b[j] >= 'A' && b[j] <= 'Z' {
+					b[j] += 'a' - 'A'
+				}
+			}
+			return string(b)
+		}
+	}
+	return s
 }
 
 // tag parses a markup construct starting at '<'. Returns ok=false if the
@@ -174,7 +229,7 @@ func isSpace(c byte) bool {
 func (z *Tokenizer) bangTag() Token {
 	rest := z.src[z.pos:]
 	if len(rest) >= 4 && string(rest[:4]) == "<!--" {
-		end := strings.Index(string(rest[4:]), "-->")
+		end := bytes.Index(rest[4:], []byte("-->"))
 		var data string
 		if end < 0 {
 			data = string(rest[4:])
@@ -186,7 +241,7 @@ func (z *Tokenizer) bangTag() Token {
 		return Token{Type: CommentToken, Data: data}
 	}
 	// <!DOCTYPE ...> or other declaration: swallow to '>'.
-	end := strings.IndexByte(string(rest), '>')
+	end := bytes.IndexByte(rest, '>')
 	var data string
 	if end < 0 {
 		data = string(rest[2:])
@@ -204,7 +259,7 @@ func (z *Tokenizer) endTag() Token {
 	for z.pos < len(z.src) && z.src[z.pos] != '>' {
 		z.pos++
 	}
-	name := strings.ToLower(strings.TrimSpace(string(z.src[start:z.pos])))
+	name := lowerASCII(strings.TrimSpace(string(z.src[start:z.pos])))
 	if z.pos < len(z.src) {
 		z.pos++ // consume '>'
 	}
@@ -221,7 +276,7 @@ func (z *Tokenizer) startTag() Token {
 	for z.pos < len(z.src) && !isSpace(z.src[z.pos]) && z.src[z.pos] != '>' && z.src[z.pos] != '/' {
 		z.pos++
 	}
-	name := strings.ToLower(string(z.src[start:z.pos]))
+	name := lowerASCII(string(z.src[start:z.pos]))
 	tok := Token{Type: StartTagToken, Data: name}
 	selfClosing := false
 	for z.pos < len(z.src) && z.src[z.pos] != '>' {
@@ -260,7 +315,7 @@ func (z *Tokenizer) attr() (key, val string, ok bool) {
 		}
 		z.pos++
 	}
-	key = strings.ToLower(string(z.src[start:z.pos]))
+	key = lowerASCII(string(z.src[start:z.pos]))
 	if key == "" {
 		z.pos++ // skip junk byte to guarantee progress
 		return "", "", false

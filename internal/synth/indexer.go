@@ -79,10 +79,14 @@ func normalizeReviewUniverse(idxs map[entity.Attr]*index.Index) {
 }
 
 // ExtractIndexes runs the full extraction pipeline over the rendered
-// web: each site's pages are rendered to HTML, parsed, and mined for
-// entity mentions, which are aggregated by host into per-attribute
-// indexes. Work is spread over workers goroutines (<= 0 means
-// GOMAXPROCS). reviewClf may be nil for domains without the review
+// web: each site's pages stream through the fused render → tokenize →
+// match → classify pipeline (synth.RenderPages into pooled buffers,
+// extract.Session over htmlx's streaming visitor), and mentions are
+// aggregated by host into per-attribute indexes. No page, DOM, or text
+// string is ever materialized, so the hot loop performs near-zero
+// allocation. Work is spread over workers goroutines (<= 0 means
+// GOMAXPROCS); the result is index-identical to DirectIndexes for every
+// worker count. reviewClf may be nil for domains without the review
 // attribute; restaurants require it.
 func (w *Web) ExtractIndexes(reviewClf *classify.NaiveBayes, workers int) (map[entity.Attr]*index.Index, error) {
 	if w.Config.Domain == entity.Restaurants && reviewClf == nil {
@@ -95,6 +99,12 @@ func (w *Web) ExtractIndexes(reviewClf *classify.NaiveBayes, workers int) (map[e
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	sessions := make([]*extract.Session, workers)
+	for i := range sessions {
+		if sessions[i], err = x.NewSession(); err != nil {
+			return nil, fmt.Errorf("synth: build extraction session: %w", err)
+		}
+	}
 	attrs := entity.AttrsFor(w.Config.Domain)
 	sharded := make(map[entity.Attr]*index.ShardedBuilder, len(attrs))
 	for _, a := range attrs {
@@ -105,25 +115,28 @@ func (w *Web) ExtractIndexes(reviewClf *classify.NaiveBayes, workers int) (map[e
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
-		go func() {
+		go func(sess *extract.Session) {
 			defer wg.Done()
-			for s := range siteCh {
-				for _, p := range w.RenderSite(s) {
-					pageReview := false
-					for _, m := range x.Page(p.HTML) {
-						if b, ok := sharded[m.Attr]; ok {
-							b.Add(s.Host, m.EntityID)
-						}
-						if m.Attr == entity.AttrReview {
-							pageReview = true
-						}
+			var cur *Site
+			emit := func(_ string, html []byte) {
+				pageReview := false
+				for _, m := range sess.Page(html) {
+					if b, ok := sharded[m.Attr]; ok {
+						b.Add(cur.Host, m.EntityID)
 					}
-					if pageReview {
-						sharded[entity.AttrReview].AddPage(s.Host)
+					if m.Attr == entity.AttrReview {
+						pageReview = true
 					}
 				}
+				if pageReview {
+					sharded[entity.AttrReview].AddPage(cur.Host)
+				}
 			}
-		}()
+			for s := range siteCh {
+				cur = s
+				w.RenderPages(s, emit)
+			}
+		}(sessions[i])
 	}
 	for si := range w.Sites {
 		siteCh <- &w.Sites[si]

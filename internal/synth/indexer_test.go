@@ -69,19 +69,26 @@ func indexKey(idx *index.Index) map[string][]int {
 	return out
 }
 
+// extractWorkerCounts is the acceptance sweep: the streaming pipeline
+// must be index-identical to the model's direct decisions for every
+// worker count.
+var extractWorkerCounts = []int{1, 2, 4, 8}
+
 func TestExtractMatchesDirectBanks(t *testing.T) {
 	w, err := Generate(Config{Domain: entity.Banks, Entities: 300, DirectoryHosts: 400, Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
 	direct := w.DirectIndexes()
-	extracted, err := w.ExtractIndexes(nil, 4)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, a := range []entity.Attr{entity.AttrPhone, entity.AttrHomepage} {
-		if !reflect.DeepEqual(indexKey(direct[a]), indexKey(extracted[a])) {
-			t.Errorf("%s: extracted index differs from model decisions", a)
+	for _, workers := range extractWorkerCounts {
+		extracted, err := w.ExtractIndexes(nil, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range []entity.Attr{entity.AttrPhone, entity.AttrHomepage} {
+			if !reflect.DeepEqual(indexKey(direct[a]), indexKey(extracted[a])) {
+				t.Errorf("workers=%d %s: extracted index differs from model decisions", workers, a)
+			}
 		}
 	}
 }
@@ -92,12 +99,14 @@ func TestExtractMatchesDirectBooks(t *testing.T) {
 		t.Fatal(err)
 	}
 	direct := w.DirectIndexes()
-	extracted, err := w.ExtractIndexes(nil, 4)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(indexKey(direct[entity.AttrISBN]), indexKey(extracted[entity.AttrISBN])) {
-		t.Error("ISBN: extracted index differs from model decisions")
+	for _, workers := range extractWorkerCounts {
+		extracted, err := w.ExtractIndexes(nil, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(indexKey(direct[entity.AttrISBN]), indexKey(extracted[entity.AttrISBN])) {
+			t.Errorf("workers=%d ISBN: extracted index differs from model decisions", workers)
+		}
 	}
 }
 

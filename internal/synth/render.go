@@ -1,8 +1,10 @@
 package synth
 
 import (
-	"fmt"
+	"bytes"
+	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/dist"
 	"repro/internal/entity"
@@ -19,13 +21,27 @@ type Page struct {
 	HTML []byte
 }
 
-// RenderSite renders every page of site s: listing pages chunking the
-// site's listings, plus one page per review. Rendering is deterministic
-// given the web's seed; cosmetic choices (phone format, filler text)
-// are drawn from a per-site RNG derived from the seed and host.
-func (w *Web) RenderSite(s *Site) []Page {
+// renderScratch is the per-worker pooled state of the streaming
+// renderer: one page buffer and one URL buffer, reused page after page
+// so a site render performs O(1) allocations regardless of page count.
+type renderScratch struct {
+	buf bytes.Buffer
+	url []byte
+}
+
+var renderPool = sync.Pool{New: func() any { return new(renderScratch) }}
+
+// RenderPages renders site s page by page, invoking emit for each: the
+// streaming form of RenderSite. Pages render into a pooled buffer, so
+// html is only valid for the duration of the callback (copy it to
+// retain) and a site's pages are never all resident at once. Rendering
+// order and bytes are identical to RenderSite: listing pages first,
+// then one page per review, all drawn from the site's deterministic
+// cosmetic RNG.
+func (w *Web) RenderPages(s *Site, emit func(url string, html []byte)) {
 	rng := dist.NewRNG(w.Config.Seed ^ hashHost(s.Host))
-	var pages []Page
+	sc := renderPool.Get().(*renderScratch)
+	defer renderPool.Put(sc)
 	nPages := (len(s.Listings) + listingsPerPage - 1) / listingsPerPage
 	for p := 0; p < nPages; p++ {
 		lo := p * listingsPerPage
@@ -33,120 +49,240 @@ func (w *Web) RenderSite(s *Site) []Page {
 		if hi > len(s.Listings) {
 			hi = len(s.Listings)
 		}
-		url := fmt.Sprintf("http://%s/listings/%d", s.Host, p)
+		sc.url = append(append(sc.url[:0], "http://"...), s.Host...)
 		if s.Class == SelfSite {
-			url = fmt.Sprintf("http://%s/", s.Host)
+			sc.url = append(sc.url, '/')
+		} else {
+			sc.url = append(sc.url, "/listings/"...)
+			sc.url = strconv.AppendInt(sc.url, int64(p), 10)
 		}
-		pages = append(pages, Page{
-			URL:  url,
-			HTML: w.renderListingPage(rng, s, s.Listings[lo:hi]),
-		})
+		sc.buf.Reset()
+		w.writeListingPage(&sc.buf, rng, s, s.Listings[lo:hi])
+		emit(string(sc.url), sc.buf.Bytes())
 	}
 	for _, l := range s.Listings {
 		for r := 0; r < l.Reviews; r++ {
 			e := w.DB.Entities[l.Entity]
-			pages = append(pages, Page{
-				URL:  fmt.Sprintf("http://%s/review/%d/%d", s.Host, e.ID, r),
-				HTML: w.renderReviewPage(rng, e),
-			})
+			sc.url = append(append(sc.url[:0], "http://"...), s.Host...)
+			sc.url = append(sc.url, "/review/"...)
+			sc.url = strconv.AppendInt(sc.url, int64(e.ID), 10)
+			sc.url = append(sc.url, '/')
+			sc.url = strconv.AppendInt(sc.url, int64(r), 10)
+			sc.buf.Reset()
+			w.writeReviewPage(&sc.buf, rng, e)
+			emit(string(sc.url), sc.buf.Bytes())
 		}
 	}
+}
+
+// RenderSite renders every page of site s into retained memory: the
+// materialized convenience form of RenderPages, used where all pages
+// must coexist (tests, ablations). The hot extraction path streams via
+// RenderPages instead.
+func (w *Web) RenderSite(s *Site) []Page {
+	var pages []Page
+	w.RenderPages(s, func(url string, html []byte) {
+		pages = append(pages, Page{URL: url, HTML: append([]byte(nil), html...)})
+	})
 	return pages
 }
 
-// renderListingPage renders one directory page with a block per listing.
-func (w *Web) renderListingPage(rng *dist.RNG, s *Site, listings []Listing) []byte {
-	var b strings.Builder
+// writeListingPage renders one directory page with a block per listing.
+func (w *Web) writeListingPage(b *bytes.Buffer, rng *dist.RNG, s *Site, listings []Listing) {
 	title := s.Host
 	if s.Class == SelfSite && len(listings) > 0 {
 		title = w.DB.Entities[listings[0].Entity].Name
 	}
-	fmt.Fprintf(&b, `<!DOCTYPE html>
-<html>
-<head><title>%s</title></head>
-<body>
-<h1>%s</h1>
-`, htmlx.EscapeText(title), htmlx.EscapeText(title))
+	b.WriteString("<!DOCTYPE html>\n<html>\n<head><title>")
+	htmlx.WriteEscaped(b, title)
+	b.WriteString("</title></head>\n<body>\n<h1>")
+	htmlx.WriteEscaped(b, title)
+	b.WriteString("</h1>\n")
+	esc := htmlx.EscapeWriter{B: b}
 	for _, l := range listings {
 		e := w.DB.Entities[l.Entity]
-		b.WriteString(`<div class="listing">` + "\n")
-		fmt.Fprintf(&b, "<h2>%s</h2>\n", htmlx.EscapeText(e.Name))
+		b.WriteString("<div class=\"listing\">\n<h2>")
+		htmlx.WriteEscaped(b, e.Name)
+		b.WriteString("</h2>\n")
 		if w.Config.Domain == entity.Books {
 			if l.HasKey {
-				fmt.Fprintf(&b, "<p>ISBN: %s</p>\n", renderISBN(rng, e))
+				b.WriteString("<p>ISBN: ")
+				writeISBN(b, rng, e)
+				b.WriteString("</p>\n")
 			}
-			fmt.Fprintf(&b, "<p>%s</p>\n", htmlx.EscapeText(textgen.Boilerplate(rng, 1+rng.Intn(2))))
+			n := 1 + rng.Intn(2)
+			b.WriteString("<p>")
+			textgen.WriteBoilerplate(esc, rng, n)
+			b.WriteString("</p>\n")
 		} else {
-			fmt.Fprintf(&b, "<p>%s</p>\n", htmlx.EscapeText(e.Address.String()))
+			b.WriteString("<p>")
+			writeEscapedAddress(b, e.Address)
+			b.WriteString("</p>\n")
 			if l.HasKey {
-				fmt.Fprintf(&b, "<p>Phone: %s</p>\n", renderPhone(rng, e.Phone))
+				b.WriteString("<p>Phone: ")
+				writePhone(b, rng, e.Phone)
+				b.WriteString("</p>\n")
 			}
 			if l.HasHomepage {
-				fmt.Fprintf(&b, `<p><a href="%s">Visit website</a></p>`+"\n", renderHomepage(rng, e.Homepage))
+				b.WriteString(`<p><a href="`)
+				writeHomepage(b, rng, e.Homepage)
+				b.WriteString("\">Visit website</a></p>\n")
 			}
-			fmt.Fprintf(&b, "<p>%s</p>\n", htmlx.EscapeText(textgen.Boilerplate(rng, 1+rng.Intn(2))))
+			n := 1 + rng.Intn(2)
+			b.WriteString("<p>")
+			textgen.WriteBoilerplate(esc, rng, n)
+			b.WriteString("</p>\n")
 		}
 		b.WriteString("</div>\n")
 	}
 	b.WriteString("</body>\n</html>\n")
-	return []byte(b.String())
 }
 
-// renderReviewPage renders one user-review page for entity e. The page
+// renderListingPage is the materialized form of writeListingPage,
+// retained for tests and the DOM reference path.
+func (w *Web) renderListingPage(rng *dist.RNG, s *Site, listings []Listing) []byte {
+	var b bytes.Buffer
+	w.writeListingPage(&b, rng, s, listings)
+	return b.Bytes()
+}
+
+// writeReviewPage renders one user-review page for entity e. The page
 // carries the entity's phone (so extraction can attribute it) and
 // review prose (so the classifier recognizes it).
-func (w *Web) renderReviewPage(rng *dist.RNG, e entity.Entity) []byte {
-	var b strings.Builder
-	fmt.Fprintf(&b, `<!DOCTYPE html>
-<html>
-<head><title>Review: %s</title></head>
-<body>
-<h1>%s</h1>
-<p class="contact">%s &middot; %s</p>
-`, htmlx.EscapeText(e.Name), htmlx.EscapeText(e.Name),
-		renderPhone(rng, e.Phone), htmlx.EscapeText(e.Address.City))
+func (w *Web) writeReviewPage(b *bytes.Buffer, rng *dist.RNG, e entity.Entity) {
+	b.WriteString("<!DOCTYPE html>\n<html>\n<head><title>Review: ")
+	htmlx.WriteEscaped(b, e.Name)
+	b.WriteString("</title></head>\n<body>\n<h1>")
+	htmlx.WriteEscaped(b, e.Name)
+	b.WriteString("</h1>\n<p class=\"contact\">")
+	writePhone(b, rng, e.Phone)
+	b.WriteString(" &middot; ")
+	htmlx.WriteEscaped(b, e.Address.City)
+	b.WriteString("</p>\n")
+	esc := htmlx.EscapeWriter{B: b}
 	nReviews := 1 + rng.Intn(3)
 	for i := 0; i < nReviews; i++ {
-		fmt.Fprintf(&b, "<div class=\"review\">\n<h3>Reviewed by %s</h3>\n<p>%s</p>\n</div>\n",
-			htmlx.EscapeText(textgen.PersonName(rng)),
-			htmlx.EscapeText(textgen.Review(rng, e.Name, 4+rng.Intn(5))))
+		b.WriteString("<div class=\"review\">\n<h3>Reviewed by ")
+		textgen.WritePersonName(esc, rng)
+		b.WriteString("</h3>\n<p>")
+		n := 4 + rng.Intn(5)
+		textgen.WriteReview(esc, rng, e.Name, n)
+		b.WriteString("</p>\n</div>\n")
 	}
 	b.WriteString("</body>\n</html>\n")
-	return []byte(b.String())
 }
 
-// renderPhone picks one of the common display formats.
-func renderPhone(rng *dist.RNG, p entity.CanonicalPhone) string {
-	switch rng.Intn(4) {
-	case 0:
-		return p.Format()
-	case 1:
-		return p.FormatDashed()
-	case 2:
-		return p.FormatDotted()
+// renderReviewPage is the materialized form of writeReviewPage.
+func (w *Web) renderReviewPage(rng *dist.RNG, e entity.Entity) []byte {
+	var b bytes.Buffer
+	w.writeReviewPage(&b, rng, e)
+	return b.Bytes()
+}
+
+// writeEscapedAddress streams the one-line address rendering
+// (Address.String) with HTML escaping, without building the string.
+func writeEscapedAddress(b *bytes.Buffer, a textgen.Address) {
+	htmlx.WriteEscaped(b, a.Street)
+	b.WriteString(", ")
+	htmlx.WriteEscaped(b, a.City)
+	b.WriteString(", ")
+	htmlx.WriteEscaped(b, a.State)
+	b.WriteByte(' ')
+	htmlx.WriteEscaped(b, a.Zip)
+}
+
+// writePhone streams one of the common display formats.
+func writePhone(b *bytes.Buffer, rng *dist.RNG, p entity.CanonicalPhone) {
+	form := rng.Intn(4)
+	if len(p) != 10 {
+		b.WriteString(string(p))
+		return
+	}
+	switch form {
+	case 0: // (NPA) NXX-XXXX
+		b.WriteByte('(')
+		b.WriteString(string(p[:3]))
+		b.WriteString(") ")
+		b.WriteString(string(p[3:6]))
+		b.WriteByte('-')
+		b.WriteString(string(p[6:]))
+	case 1: // NPA-NXX-XXXX
+		b.WriteString(string(p[:3]))
+		b.WriteByte('-')
+		b.WriteString(string(p[3:6]))
+		b.WriteByte('-')
+		b.WriteString(string(p[6:]))
+	case 2: // NPA.NXX.XXXX
+		b.WriteString(string(p[:3]))
+		b.WriteByte('.')
+		b.WriteString(string(p[3:6]))
+		b.WriteByte('.')
+		b.WriteString(string(p[6:]))
 	default:
-		return string(p)
+		b.WriteString(string(p))
 	}
 }
 
-// renderHomepage introduces the cosmetic URL variation real pages have.
-func renderHomepage(rng *dist.RNG, u string) string {
+// renderPhone is the materialized form of writePhone (kept for tests).
+func renderPhone(rng *dist.RNG, p entity.CanonicalPhone) string {
+	var b bytes.Buffer
+	writePhone(&b, rng, p)
+	return b.String()
+}
+
+// writeHomepage streams the cosmetic URL variation real pages have.
+func writeHomepage(b *bytes.Buffer, rng *dist.RNG, u string) {
 	switch rng.Intn(3) {
 	case 0:
-		return u
+		b.WriteString(u)
 	case 1:
-		return strings.TrimSuffix(u, "/")
+		b.WriteString(strings.TrimSuffix(u, "/"))
 	default:
-		return strings.Replace(u, "http://", "https://", 1)
+		if i := strings.Index(u, "http://"); i >= 0 {
+			b.WriteString(u[:i])
+			b.WriteString("https://")
+			b.WriteString(u[i+len("http://"):])
+		} else {
+			b.WriteString(u)
+		}
 	}
 }
 
-// renderISBN shows either the ISBN-10 or the hyphenated ISBN-13.
-func renderISBN(rng *dist.RNG, e entity.Entity) string {
+// renderHomepage is the materialized form of writeHomepage.
+func renderHomepage(rng *dist.RNG, u string) string {
+	var b bytes.Buffer
+	writeHomepage(&b, rng, u)
+	return b.String()
+}
+
+// writeISBN streams either the ISBN-10 or the hyphenated ISBN-13.
+func writeISBN(b *bytes.Buffer, rng *dist.RNG, e entity.Entity) {
 	if rng.Intn(2) == 0 {
-		return e.ISBN10
+		b.WriteString(e.ISBN10)
+		return
 	}
-	return entity.FormatISBN13(e.ISBN13)
+	isbn := e.ISBN13
+	if len(isbn) != 13 {
+		b.WriteString(isbn)
+		return
+	}
+	// 978-X-XXXX-XXXX-X, matching entity.FormatISBN13.
+	b.WriteString(isbn[:3])
+	b.WriteByte('-')
+	b.WriteString(isbn[3:4])
+	b.WriteByte('-')
+	b.WriteString(isbn[4:8])
+	b.WriteByte('-')
+	b.WriteString(isbn[8:12])
+	b.WriteByte('-')
+	b.WriteString(isbn[12:])
+}
+
+// renderISBN is the materialized form of writeISBN.
+func renderISBN(rng *dist.RNG, e entity.Entity) string {
+	var b bytes.Buffer
+	writeISBN(&b, rng, e)
+	return b.String()
 }
 
 // hashHost gives a stable 64-bit mix of a host name (FNV-1a).
@@ -159,21 +295,35 @@ func hashHost(host string) uint64 {
 	return h
 }
 
-// TrainingPages renders a labeled corpus for the review classifier:
+// TrainingCorpus streams a labeled corpus for the review classifier —
 // review pages (label true) and listing/boilerplate pages (label false)
-// drawn from the same generators the web uses, as the paper trains its
-// classifier on labeled page samples.
-func (w *Web) TrainingPages(n int, seed uint64) (pages [][]byte, labels []bool) {
+// from the same generators the web uses, as the paper trains its
+// classifier on labeled page samples. Pages render into a pooled buffer
+// that is only valid during the callback; the stream is draw-identical
+// to TrainingPages.
+func (w *Web) TrainingCorpus(n int, seed uint64, emit func(html []byte, isReview bool)) {
 	rng := dist.NewRNG(seed ^ 0x7ea11abe1)
+	sc := renderPool.Get().(*renderScratch)
+	defer renderPool.Put(sc)
 	for i := 0; i < n; i++ {
 		e := w.DB.Entities[rng.Intn(len(w.DB.Entities))]
-		pages = append(pages, w.renderReviewPage(rng, e))
-		labels = append(labels, true)
+		sc.buf.Reset()
+		w.writeReviewPage(&sc.buf, rng, e)
+		emit(sc.buf.Bytes(), true)
 
 		l := Listing{Entity: e.ID, HasKey: true}
 		site := &Site{Host: "training.example.com", Class: Directory}
-		pages = append(pages, w.renderListingPage(rng, site, []Listing{l}))
-		labels = append(labels, false)
+		sc.buf.Reset()
+		w.writeListingPage(&sc.buf, rng, site, []Listing{l})
+		emit(sc.buf.Bytes(), false)
 	}
+}
+
+// TrainingPages is the materialized form of TrainingCorpus.
+func (w *Web) TrainingPages(n int, seed uint64) (pages [][]byte, labels []bool) {
+	w.TrainingCorpus(n, seed, func(html []byte, isReview bool) {
+		pages = append(pages, append([]byte(nil), html...))
+		labels = append(labels, isReview)
+	})
 	return pages, labels
 }

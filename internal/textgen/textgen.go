@@ -31,9 +31,28 @@ func BusinessName(rng *dist.RNG, domain string) string {
 	}
 }
 
+// Writer is the destination for the streaming prose writers: both
+// *bytes.Buffer and *strings.Builder satisfy it, as does htmlx's
+// escaping adapter, so generated text can stream straight into a
+// rendered page without intermediate strings.
+type Writer interface {
+	WriteString(s string) (int, error)
+	WriteByte(c byte) error
+}
+
 // PersonName returns a random full name.
 func PersonName(rng *dist.RNG) string {
-	return firstNames[rng.Intn(len(firstNames))] + " " + lastNames[rng.Intn(len(lastNames))]
+	var b strings.Builder
+	WritePersonName(&b, rng)
+	return b.String()
+}
+
+// WritePersonName streams a random full name, drawing identically to
+// PersonName.
+func WritePersonName(w Writer, rng *dist.RNG) {
+	w.WriteString(firstNames[rng.Intn(len(firstNames))])
+	w.WriteByte(' ')
+	w.WriteString(lastNames[rng.Intn(len(lastNames))])
 }
 
 // Address holds a simple US postal address.
@@ -69,49 +88,70 @@ func City(rng *dist.RNG) string { return cities[rng.Intn(len(cities))] }
 // sentiment sentences, shared filler, and a closer, so they carry the
 // lexical signal the Naïve-Bayes classifier learns.
 func Review(rng *dist.RNG, entityName string, sentences int) string {
+	var b strings.Builder
+	WriteReview(&b, rng, entityName, sentences)
+	return b.String()
+}
+
+// WriteReview streams a review paragraph, drawing and emitting
+// byte-identically to Review but without building the string — the
+// renderer's zero-allocation path.
+func WriteReview(w Writer, rng *dist.RNG, entityName string, sentences int) {
 	if sentences < 3 {
 		sentences = 3
 	}
-	var b strings.Builder
-	b.WriteString(reviewOpeners[rng.Intn(len(reviewOpeners))])
-	b.WriteByte(' ')
+	w.WriteString(reviewOpeners[rng.Intn(len(reviewOpeners))])
+	w.WriteByte(' ')
 	positive := rng.Float64() < 0.65
 	pool := reviewPositive
 	if !positive {
 		pool = reviewNegative
 	}
-	b.WriteString(pool[rng.Intn(len(pool))])
-	b.WriteString(". ")
+	w.WriteString(pool[rng.Intn(len(pool))])
+	w.WriteString(". ")
 	for i := 0; i < sentences-2; i++ {
 		switch rng.Intn(5) {
 		case 0:
-			b.WriteString(sharedFiller[rng.Intn(len(sharedFiller))])
+			w.WriteString(sharedFiller[rng.Intn(len(sharedFiller))])
 		case 1:
-			b.WriteString("At " + entityName + ", " + pool[rng.Intn(len(pool))] + ".")
+			w.WriteString("At ")
+			w.WriteString(entityName)
+			w.WriteString(", ")
+			w.WriteString(pool[rng.Intn(len(pool))])
+			w.WriteByte('.')
 		default:
-			b.WriteString(capitalize(pool[rng.Intn(len(pool))]) + ".")
+			writeCapitalized(w, pool[rng.Intn(len(pool))])
+			w.WriteByte('.')
 		}
-		b.WriteByte(' ')
+		w.WriteByte(' ')
 	}
-	b.WriteString(reviewClosers[rng.Intn(len(reviewClosers))])
-	return b.String()
+	w.WriteString(reviewClosers[rng.Intn(len(reviewClosers))])
 }
 
 // Boilerplate generates non-review informational text mentioning nothing
 // sentiment-laden: directory blurbs, hours, announcements.
 func Boilerplate(rng *dist.RNG, sentences int) string {
+	var b strings.Builder
+	WriteBoilerplate(&b, rng, sentences)
+	return b.String()
+}
+
+// WriteBoilerplate streams boilerplate text, drawing and emitting
+// byte-identically to Boilerplate.
+func WriteBoilerplate(w Writer, rng *dist.RNG, sentences int) {
 	if sentences < 1 {
 		sentences = 1
 	}
-	parts := make([]string, 0, sentences)
 	for i := 0; i < sentences; i++ {
+		if i > 0 {
+			w.WriteByte(' ')
+		}
 		if rng.Float64() < 0.2 {
-			parts = append(parts, sharedFiller[rng.Intn(len(sharedFiller))])
+			w.WriteString(sharedFiller[rng.Intn(len(sharedFiller))])
 		} else {
-			parts = append(parts, boilerplateSentences[rng.Intn(len(boilerplateSentences))])
+			w.WriteString(boilerplateSentences[rng.Intn(len(boilerplateSentences))])
 		}
 	}
-	return strings.Join(parts, " ")
 }
 
 // BookTitle returns a plausible book title.
@@ -162,4 +202,19 @@ func capitalize(s string) string {
 		return s
 	}
 	return strings.ToUpper(s[:1]) + s[1:]
+}
+
+// writeCapitalized streams capitalize(s) without allocating: the first
+// byte is ASCII-upper-cased (matching ToUpper on a one-byte string for
+// the ASCII sentence pools).
+func writeCapitalized(w Writer, s string) {
+	if s == "" {
+		return
+	}
+	c := s[0]
+	if c >= 'a' && c <= 'z' {
+		c -= 'a' - 'A'
+	}
+	w.WriteByte(c)
+	w.WriteString(s[1:])
 }

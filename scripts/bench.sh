@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# bench.sh — run the tier-1 benchmarks with -benchmem and emit a
+# machine-readable snapshot (BENCH_<PR>.json) of the performance
+# trajectory: extraction (streaming vs retained-DOM baseline), demand
+# generation, and the serving layer.
+#
+# Usage:
+#   scripts/bench.sh                 # BENCHTIME=2x, writes BENCH_4.json
+#   BENCHTIME=5s OUT=/tmp/b.json scripts/bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-2x}"
+PR="${PR:-4}"
+OUT="${OUT:-BENCH_${PR}.json}"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' \
+  -bench 'BenchmarkExtractIndexes|BenchmarkEndToEndPipeline|BenchmarkGenerate$' \
+  -benchmem -benchtime "$BENCHTIME" . | tee -a "$raw"
+go test -run '^$' -bench 'BenchmarkServe' -benchmem -benchtime "$BENCHTIME" \
+  ./internal/serve/ | tee -a "$raw"
+
+awk -v benchtime="$BENCHTIME" -v goversion="$(go version | awk '{print $3}')" '
+BEGIN {
+  printf "{\n  \"schema\": \"bench/v1\",\n"
+  printf "  \"go\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"results\": [", goversion, benchtime
+  n = 0
+}
+/^Benchmark/ {
+  name = $1
+  ns = ""; bytes = ""; allocs = ""; mbs = ""
+  for (i = 2; i < NF; i++) {
+    if ($(i+1) == "ns/op")     ns = $i
+    if ($(i+1) == "B/op")      bytes = $i
+    if ($(i+1) == "allocs/op") allocs = $i
+    if ($(i+1) == "MB/s")      mbs = $i
+  }
+  if (ns == "") next
+  if (n++) printf ","
+  printf "\n    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns
+  if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
+  if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+  if (mbs != "")    printf ", \"mb_per_s\": %s", mbs
+  printf "}"
+}
+END { printf "\n  ]\n}\n" }
+' "$raw" > "$OUT"
+
+echo "wrote $OUT"
