@@ -352,11 +352,24 @@ func BenchmarkRunAll(b *testing.B) {
 }
 
 // BenchmarkGenerate measures the §4 demand workload end to end under
-// three architectures: the serial producer folding into one Aggregator,
-// the serial producer feeding sharded aggregation (SimulateParallel,
-// PR 1), and the fully parallel pipeline (GeneratePipeline, this PR) at
-// 1/2/4/8 generator workers. The pipeline rows beating both serial rows
-// from gen=4 up is the headline of the parallel-generation change.
+// four architectures:
+//
+//   - serial: the wire-format fold — Simulate materializes each click
+//     to logs.Click and Aggregator.Add resolves the URL back to its
+//     entity (interned catalog URLs cost one string-map hit). This is
+//     what replaying a click log costs, and the name-stable baseline
+//     the bench regression gate tracks across BENCH files.
+//   - serial-ref: the zero-string serial fold — SimulateRefs feeds
+//     Aggregator.AddRef, no URL ever built or parsed. The serial
+//     architecture after this PR's ClickRef change.
+//   - serialgen-shardedagg: serial ref generation feeding 4 concurrent
+//     shard workers (SimulateParallel).
+//   - pipeline/gen=N: the fully concurrent path (GeneratePipeline).
+//
+// The PR 5 contract: pipeline/gen=4 at ≥ 2x the wire-serial
+// throughput, and every row faster than its BENCH_4 predecessor. All
+// rows share the same aggregation structures (cookie bitmap hint
+// included), so the deltas isolate the representation, not tuning.
 func BenchmarkGenerate(b *testing.B) {
 	cat, err := benchStudy.Catalog(logs.Amazon)
 	if err != nil {
@@ -369,10 +382,21 @@ func BenchmarkGenerate(b *testing.B) {
 		events(b)
 		for i := 0; i < b.N; i++ {
 			agg := demand.NewAggregator(cat)
+			agg.SetCookieHint(cfg.Cookies)
 			if err := demand.Simulate(cat, cfg, func(c logs.Click) error {
 				agg.Add(c)
 				return nil
 			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("serial-ref", func(b *testing.B) {
+		events(b)
+		for i := 0; i < b.N; i++ {
+			agg := demand.NewAggregator(cat)
+			agg.SetCookieHint(cfg.Cookies)
+			if err := demand.SimulateRefs(cat, cfg, agg.AddRef); err != nil {
 				b.Fatal(err)
 			}
 		}

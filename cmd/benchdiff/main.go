@@ -1,0 +1,146 @@
+// Command benchdiff compares two bench/v1 JSON snapshots (the
+// BENCH_<PR>.json files scripts/bench.sh emits) and fails when a named
+// benchmark regressed. It is the regression gate the bench trajectory
+// was missing: BENCH files recorded each PR's numbers, but nothing
+// compared consecutive runs, which is how PR 2 shipped a pipeline
+// slower than the serial fold without anyone noticing. CI runs
+//
+//	benchdiff -max-regress 20 BENCH_4.json /tmp/BENCH_ci.json
+//
+// after every bench run, failing the build when any benchmark present
+// in both files got more than 20% slower (ns/op). Benchmarks that
+// appear in only one file are reported but never fail the gate —
+// renames and new rows are how the trajectory grows.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// File is the bench/v1 schema scripts/bench.sh writes.
+type File struct {
+	Schema    string   `json:"schema"`
+	Go        string   `json:"go"`
+	Benchtime string   `json:"benchtime"`
+	Results   []Result `json:"results"`
+}
+
+// Result is one benchmark row.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Delta is one compared benchmark.
+type Delta struct {
+	Name      string
+	OldNs     float64
+	NewNs     float64
+	Pct       float64 // (new-old)/old * 100; positive = slower
+	Regressed bool
+}
+
+// Compare pairs benchmarks by name and flags those whose ns/op grew by
+// more than maxRegressPct. Rows whose baseline runs faster than minNs
+// are compared but never flagged: micro-benchmarks (microseconds per
+// op) vary well past any sane threshold at smoke-test iteration
+// counts, and gating on them would make the gate cry wolf.
+func Compare(old, new *File, maxRegressPct, minNs float64) (deltas []Delta, onlyOld, onlyNew []string) {
+	oldByName := make(map[string]Result, len(old.Results))
+	for _, r := range old.Results {
+		oldByName[r.Name] = r
+	}
+	newNames := make(map[string]bool, len(new.Results))
+	for _, r := range new.Results {
+		newNames[r.Name] = true
+		o, ok := oldByName[r.Name]
+		if !ok {
+			onlyNew = append(onlyNew, r.Name)
+			continue
+		}
+		if o.NsPerOp <= 0 {
+			continue
+		}
+		pct := (r.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		deltas = append(deltas, Delta{
+			Name:      r.Name,
+			OldNs:     o.NsPerOp,
+			NewNs:     r.NsPerOp,
+			Pct:       pct,
+			Regressed: pct > maxRegressPct && o.NsPerOp >= minNs,
+		})
+	}
+	for _, r := range old.Results {
+		if !newNames[r.Name] {
+			onlyOld = append(onlyOld, r.Name)
+		}
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Pct > deltas[j].Pct })
+	return deltas, onlyOld, onlyNew
+}
+
+func load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Schema != "bench/v1" {
+		return nil, fmt.Errorf("%s: schema %q, want bench/v1", path, f.Schema)
+	}
+	return &f, nil
+}
+
+func main() {
+	maxRegress := flag.Float64("max-regress", 20, "max allowed ns/op regression in percent")
+	minNs := flag.Float64("min-ns", 0, "only gate on benchmarks whose baseline is at least this many ns/op")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchdiff [-max-regress PCT] [-min-ns NS] OLD.json NEW.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldF, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	newF, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	deltas, onlyOld, onlyNew := Compare(oldF, newF, *maxRegress, *minNs)
+	failed := 0
+	for _, d := range deltas {
+		mark := " "
+		if d.Regressed {
+			mark = "!"
+			failed++
+		}
+		fmt.Printf("%s %-55s %14.0f -> %14.0f ns/op  %+7.1f%%\n", mark, d.Name, d.OldNs, d.NewNs, d.Pct)
+	}
+	for _, n := range onlyOld {
+		fmt.Printf("- %-55s only in %s\n", n, flag.Arg(0))
+	}
+	for _, n := range onlyNew {
+		fmt.Printf("+ %-55s only in %s\n", n, flag.Arg(1))
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed more than %.0f%%\n", failed, *maxRegress)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d compared, none regressed more than %.0f%%\n", len(deltas), *maxRegress)
+}

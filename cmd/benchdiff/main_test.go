@@ -1,0 +1,74 @@
+package main
+
+import "testing"
+
+func file(rows ...Result) *File {
+	return &File{Schema: "bench/v1", Results: rows}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	old := file(
+		Result{Name: "BenchmarkA", NsPerOp: 100},
+		Result{Name: "BenchmarkB", NsPerOp: 1000},
+		Result{Name: "BenchmarkC", NsPerOp: 500},
+	)
+	new := file(
+		Result{Name: "BenchmarkA", NsPerOp: 121},  // +21% — regressed
+		Result{Name: "BenchmarkB", NsPerOp: 1190}, // +19% — within budget
+		Result{Name: "BenchmarkC", NsPerOp: 250},  // improvement
+	)
+	deltas, onlyOld, onlyNew := Compare(old, new, 20, 0)
+	if len(deltas) != 3 || len(onlyOld) != 0 || len(onlyNew) != 0 {
+		t.Fatalf("deltas=%d onlyOld=%v onlyNew=%v", len(deltas), onlyOld, onlyNew)
+	}
+	got := map[string]bool{}
+	for _, d := range deltas {
+		got[d.Name] = d.Regressed
+	}
+	if !got["BenchmarkA"] {
+		t.Error("+21% should regress at a 20% gate")
+	}
+	if got["BenchmarkB"] {
+		t.Error("+19% should pass a 20% gate")
+	}
+	if got["BenchmarkC"] {
+		t.Error("an improvement should never regress")
+	}
+	// Sorted worst-first.
+	if deltas[0].Name != "BenchmarkA" {
+		t.Errorf("worst delta first, got %s", deltas[0].Name)
+	}
+}
+
+func TestCompareDisjointNamesNeverFail(t *testing.T) {
+	old := file(Result{Name: "BenchmarkGone", NsPerOp: 10})
+	new := file(Result{Name: "BenchmarkNew", NsPerOp: 99999})
+	deltas, onlyOld, onlyNew := Compare(old, new, 20, 0)
+	if len(deltas) != 0 {
+		t.Fatalf("nothing comparable, got %d deltas", len(deltas))
+	}
+	if len(onlyOld) != 1 || onlyOld[0] != "BenchmarkGone" {
+		t.Errorf("onlyOld = %v", onlyOld)
+	}
+	if len(onlyNew) != 1 || onlyNew[0] != "BenchmarkNew" {
+		t.Errorf("onlyNew = %v", onlyNew)
+	}
+}
+
+func TestCompareZeroOldNsSkipped(t *testing.T) {
+	old := file(Result{Name: "BenchmarkZ", NsPerOp: 0})
+	new := file(Result{Name: "BenchmarkZ", NsPerOp: 50})
+	deltas, _, _ := Compare(old, new, 20, 0)
+	if len(deltas) != 0 {
+		t.Fatalf("zero-baseline row must be skipped, got %+v", deltas)
+	}
+}
+
+func TestCompareBoundaryIsExclusive(t *testing.T) {
+	old := file(Result{Name: "BenchmarkE", NsPerOp: 100})
+	new := file(Result{Name: "BenchmarkE", NsPerOp: 120})
+	deltas, _, _ := Compare(old, new, 20, 0)
+	if deltas[0].Regressed {
+		t.Error("exactly +20% at a 20% gate should pass (gate is >, not >=)")
+	}
+}

@@ -1,6 +1,9 @@
 // Command clicklog generates and aggregates the §4 demand logs as
-// files, exercising the same TSV click-log format end to end that the
-// in-memory pipeline uses.
+// files. The file boundary is where the demand layer's internal
+// zero-string ClickRef representation materializes to the TSV wire
+// format (gen) and resolves back from it (agg) — agg recognizes
+// canonical simulator URLs with one interned-map hit and falls back to
+// the general §4.1 URL patterns for everything else.
 //
 // Generate a year of search+browse traffic for one site (clicks are
 // synthesized by -gen parallel workers over leapfrog RNG substreams and

@@ -23,8 +23,9 @@ func main() {
 		// as the §4.1 methodology prescribes. The demand pipeline runs
 		// generation, routing and aggregation fully concurrently —
 		// generator workers synthesize leapfrog RNG substreams and fan
-		// them into per-entity shard workers — and the result is
-		// identical to a serial fold for any worker count.
+		// 16-byte entity-indexed ClickRefs into per-entity shard workers,
+		// never formatting or parsing a URL — and the result is identical
+		// to a serial fold for any worker count.
 		agg, err := demand.GeneratePipeline(cat, demand.SimConfig{
 			Events:  120000,
 			Cookies: 25000,

@@ -10,8 +10,11 @@ import (
 // Demand returns per-entity demand estimates for one site, running the
 // demand pipeline on first use: cfg.Workers generator workers simulate
 // the click streams as leapfrog RNG substreams and fan them directly
-// into cfg.Workers entity-hash shard workers — generation, routing and
-// aggregation all concurrent, no serial stage. The result is
+// into cfg.Workers shard workers — generation, routing and aggregation
+// all concurrent, no serial stage. The whole path moves 16-byte
+// demand.ClickRef values (catalog entity indexes): no URL is ever
+// formatted, hashed or parsed between generation and aggregation, and
+// spent batches recycle through a free list. The result is
 // byte-identical to the serial simulate-and-fold for any worker count
 // (windows are exact sub-ranges of the same streams; per-entity
 // aggregation is order-independent). Distinct sites build concurrently.

@@ -9,6 +9,7 @@ package demand
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/dist"
 	"repro/internal/logs"
@@ -25,10 +26,57 @@ type CatEntity struct {
 	demand  float64 // latent mean demand (visits), not exposed
 }
 
-// Catalog is the entity inventory of one site.
+// Catalog is the entity inventory of one site. Use it by pointer: the
+// lookup accessors memoize on first use.
 type Catalog struct {
 	Site     logs.Site
 	Entities []CatEntity
+
+	keyOnce sync.Once
+	byKey   map[string]int
+	urlOnce sync.Once
+	byURL   map[string]int
+
+	aliasMu sync.Mutex
+	aliases map[aliasKey]*dist.Alias
+}
+
+// aliasKey identifies one memoized demand alias table: the sampling
+// weights depend only on the latent demand vector and the source's
+// head-bias tilt.
+type aliasKey struct {
+	source logs.Source
+	bias   float64
+}
+
+// demandAlias returns the alias table over bias-tilted latent demand,
+// built once per (source, bias) and shared: samplers across runs,
+// worker fleets and seeds reuse it (the table is immutable and the RNG
+// lives with the caller).
+func (c *Catalog) demandAlias(source logs.Source, bias float64) (*dist.Alias, error) {
+	key := aliasKey{source: source, bias: bias}
+	c.aliasMu.Lock()
+	defer c.aliasMu.Unlock()
+	if a, ok := c.aliases[key]; ok {
+		return a, nil
+	}
+	weights := make([]float64, len(c.Entities))
+	for i, e := range c.Entities {
+		// Browse head bias: tilt latent demand by rank^-bias.
+		weights[i] = e.demand
+		if bias != 0 {
+			weights[i] *= math.Pow(float64(i+1), -bias)
+		}
+	}
+	a, err := dist.NewAlias(weights)
+	if err != nil {
+		return nil, fmt.Errorf("demand: alias over latent demand: %w", err)
+	}
+	if c.aliases == nil {
+		c.aliases = make(map[aliasKey]*dist.Alias, 2)
+	}
+	c.aliases[key] = a
+	return a, nil
 }
 
 // CatalogConfig parameterizes catalog generation. Zero-valued shape
@@ -189,13 +237,32 @@ func entityName(site logs.Site, rng *dist.RNG) string {
 	}
 }
 
-// ByKey returns a key -> entity index lookup map.
+// ByKey returns a key -> entity index lookup map, built once per
+// catalog and shared: callers (aggregators across shard counts and
+// runs) must treat it as read-only.
 func (c *Catalog) ByKey() map[string]int {
-	out := make(map[string]int, len(c.Entities))
-	for i, e := range c.Entities {
-		out[e.Key] = i
-	}
-	return out
+	c.keyOnce.Do(func() {
+		c.byKey = make(map[string]int, len(c.Entities))
+		for i, e := range c.Entities {
+			c.byKey[e.Key] = i
+		}
+	})
+	return c.byKey
+}
+
+// ByURL returns a canonical-entity-URL -> entity index lookup map, the
+// aggregator's interned fast path for wire clicks, built once per
+// catalog and shared read-only like ByKey. It is consistent with ByKey
+// by construction: every entity's URL renders from its key via
+// logs.EntityURL, the pinned inverse of logs.ParseEntityURL.
+func (c *Catalog) ByURL() map[string]int {
+	c.urlOnce.Do(func() {
+		c.byURL = make(map[string]int, len(c.Entities))
+		for i, e := range c.Entities {
+			c.byURL[e.URL] = i
+		}
+	})
+	return c.byURL
 }
 
 // LatentDemand exposes the latent mean demand of entity i for

@@ -1,0 +1,191 @@
+package demand
+
+// cookieSet is an exact distinct set of uint64 cookies, tuned for the
+// aggregation hot path it replaced map[uint64]struct{} on (profiles
+// showed runtime.mapassign_fast64 as the single largest aggregation
+// cost). Three regimes, graduated by how much demand an entity turns
+// out to have:
+//
+//   - tail entities — the vast majority under Zipfian demand — hold
+//     their first few distinct cookies inline in the entityAgg itself:
+//     no allocation, no pointer chase, the same cache line the visit
+//     counter just touched;
+//   - mid entities spill to an open-addressing table (power-of-two,
+//     linear probing, splitmix64 finalizer hash) at 3/4 max load;
+//   - head entities — which carry most of the click volume — convert
+//     to a dense bitmap over the cookie population when the caller has
+//     hinted its bound (SimConfig.Cookies: simulated cookies are drawn
+//     from [1, Cookies]) and the table has outgrown the bitmap. A
+//     bitmap add is one L1-resident bit test, not a probe into a
+//     table of hundreds of kilobytes, and the set never grows again.
+//
+// Counting is exact in all regimes (the paper's §4.1 unique-cookie
+// demand measure is exact, so the default aggregator must be too; HLL
+// is the sketched alternative). The zero value is an empty set. Slot
+// value 0 marks an empty slot; cookie 0 (legal in replayed external
+// logs, never produced by the simulator) is tracked aside, and cookies
+// above the hint — impossible in simulation, arbitrary in replay —
+// stay on the table path beside the bitmap.
+// Field order is deliberate: the counters and both slice headers pack
+// into the struct's first cache line (the line AddRef's visit counter
+// just touched), with the inline array on the second — entityAgg lands
+// on exactly two lines.
+type cookieSet struct {
+	n     int32    // nonzero cookies stored across all regimes
+	tn    int32    // cookies stored in slots alone (the table's load)
+	zero  bool     // cookie 0 seen
+	slots []uint64 // open-addressing table; nil until spill; 0 = empty
+	bits  []uint64 // dense bitmap over cookies in [1, hint]; nil until convert
+	small [smallCookies]uint64
+}
+
+// smallCookies is the inline capacity before spilling to the table.
+const smallCookies = 8
+
+// add inserts c if absent. hint, when positive, promises nothing about
+// c but bounds the simulator's cookie population [1, hint]; 0 disables
+// the bitmap regime (external replays without a known population).
+func (s *cookieSet) add(c, hint uint64) {
+	if c == 0 {
+		s.zero = true
+		return
+	}
+	if s.bits != nil {
+		// The bitmap's own length is the authority on its domain, not
+		// the current hint: the hint may legally change between adds,
+		// and a converted set must keep routing exactly the cookies it
+		// covered at conversion to the bitmap (larger ones go to the
+		// table beside it) — otherwise a raised hint would index past
+		// the bitmap and a lowered one would double-count.
+		if w := (c - 1) >> 6; w < uint64(len(s.bits)) {
+			b := uint64(1) << ((c - 1) & 63)
+			if s.bits[w]&b == 0 {
+				s.bits[w] |= b
+				s.n++
+			}
+			return
+		}
+	}
+	if s.bits == nil && s.slots == nil {
+		// Indexed loop: ranging the array field would copy it per add.
+		for i := 0; i < smallCookies; i++ {
+			switch s.small[i] {
+			case c:
+				return
+			case 0:
+				s.small[i] = c
+				s.n++
+				return
+			}
+		}
+		s.spill()
+	}
+	if s.slots == nil {
+		// First overflow cookie (> hint) after bitmap conversion.
+		s.slots = make([]uint64, 8*smallCookies)
+	}
+	mask := uint64(len(s.slots) - 1)
+	i := mix64(c) & mask
+	for {
+		switch s.slots[i] {
+		case c:
+			return
+		case 0:
+			s.slots[i] = c
+			s.n++
+			s.tn++
+			// Grow 4x at 3/4 load: probe chains stay short, and the
+			// rehash chain for a large set stays half as long as
+			// doubling would make it — unless a bitmap over the hinted
+			// population is now the smaller structure, in which case
+			// convert once and stop growing forever.
+			if 4*int(s.tn) >= 3*len(s.slots) {
+				if next := 4 * len(s.slots); hint > 0 && s.bits == nil && bitmapWords(hint) <= 4*next {
+					s.convert(hint)
+				} else {
+					s.grow(next)
+				}
+			}
+			return
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// bitmapWords is the bitmap length covering cookies [1, hint].
+func bitmapWords(hint uint64) int { return int((hint + 63) / 64) }
+
+// probeInsert places c (known absent) into its linear-probe slot.
+// slots must have a free slot; len must be a power of two.
+func probeInsert(slots []uint64, c uint64) {
+	mask := uint64(len(slots) - 1)
+	i := mix64(c) & mask
+	for slots[i] != 0 {
+		i = (i + 1) & mask
+	}
+	slots[i] = c
+}
+
+// spill moves the full inline array into a fresh table.
+func (s *cookieSet) spill() {
+	s.slots = make([]uint64, 8*smallCookies)
+	s.tn = s.n
+	for _, c := range &s.small {
+		probeInsert(s.slots, c)
+	}
+}
+
+// convert moves table cookies within the new bitmap's range into it;
+// cookies beyond (none, in simulation) keep a shrunken table beside
+// it. The partition criterion is the bitmap's word range — the same
+// test add uses afterwards — so no cookie can ever straddle both
+// structures, whatever the hint does later.
+func (s *cookieSet) convert(hint uint64) {
+	s.bits = make([]uint64, bitmapWords(hint))
+	words := uint64(len(s.bits))
+	old := s.slots
+	s.slots = nil
+	s.tn = 0
+	var over []uint64
+	for _, c := range old {
+		if c == 0 {
+			continue
+		}
+		if (c-1)>>6 < words {
+			s.bits[(c-1)>>6] |= 1 << ((c - 1) & 63)
+		} else {
+			over = append(over, c)
+		}
+	}
+	if len(over) > 0 {
+		// Re-insert manually: n already counts these, so bypass add.
+		s.tn = int32(len(over))
+		size := 8 * smallCookies
+		for 4*len(over) >= 3*size {
+			size *= 4
+		}
+		s.slots = make([]uint64, size)
+		for _, c := range over {
+			probeInsert(s.slots, c)
+		}
+	}
+}
+
+// grow rehashes into a table of the given power-of-two size.
+func (s *cookieSet) grow(size int) {
+	old := s.slots
+	s.slots = make([]uint64, size)
+	for _, c := range old {
+		if c != 0 {
+			probeInsert(s.slots, c)
+		}
+	}
+}
+
+// len returns the distinct-cookie count.
+func (s *cookieSet) len() int {
+	if s.zero {
+		return int(s.n) + 1
+	}
+	return int(s.n)
+}

@@ -119,3 +119,33 @@ func TestSketchAggregatorValidation(t *testing.T) {
 		t.Error("bad precision should fail")
 	}
 }
+
+// TestHLLRelativeErrorP14 is the §4.1-scale accuracy contract for the
+// sketched aggregator: at p=14 (the precision a web-scale deployment
+// would run), the estimate stays within 3% relative error across
+// cardinalities spanning 10^2..10^6 — including the transition region
+// around 2.5m where the raw estimator historically biased high — for
+// several independent hash streams.
+func TestHLLRelativeErrorP14(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1e6-cardinality sweep")
+	}
+	cards := []int{100, 316, 1000, 3162, 10000, 31623, 40960, 100000, 316228, 1000000}
+	for _, n := range cards {
+		for seed := uint64(1); seed <= 3; seed++ {
+			h, err := NewHLL(14)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := dist.NewRNG(dist.StreamSeed(seed, uint64(n)))
+			for i := 0; i < n; i++ {
+				h.Add(rng.Uint64())
+			}
+			got := h.Count()
+			relErr := math.Abs(float64(got)-float64(n)) / float64(n)
+			if relErr > 0.03 {
+				t.Errorf("p=14 n=%d seed=%d: estimate %d, rel err %.4f > 3%%", n, seed, got, relErr)
+			}
+		}
+	}
+}

@@ -28,9 +28,11 @@ type PipelineConfig struct {
 	Window int
 	// Tap, when non-nil, observes every generated window: the source,
 	// the 0-based window index within that source, and the window's
-	// clicks in stream order. It is called concurrently from generator
+	// clicks in stream order, materialized to the wire representation
+	// for the observer. It is called concurrently from generator
 	// workers (synchronize externally) and must not mutate or retain
-	// the slice.
+	// the slice. Setting Tap makes the workers allocate one wire slice
+	// per window; the ref path itself stays allocation-free.
 	Tap func(source logs.Source, window int, clicks []logs.Click)
 }
 
@@ -77,13 +79,15 @@ func genWindows(events, window int) []genWindow {
 
 // runGenerators fans the window list across p.Generators workers. Each
 // worker calls newHandler once to get its private (handle, flush) pair:
-// handle receives every window the worker generates (a freshly
-// allocated slice the handler may keep), flush runs at worker exit.
-// Workers skip remaining windows once stop is set (nil: never stop).
-// The returned error is a sampler-construction failure; generation
-// itself cannot fail.
+// handle is invoked once per window with a gen function that streams
+// the window's refs — the handler drives gen with its own emit, so the
+// refs flow straight from the RNG into the handler's sink with no
+// intermediate buffer — and flush runs at worker exit. Workers skip
+// remaining windows once stop is set (nil: never stop). The returned
+// error is a sampler-construction failure; generation itself cannot
+// fail.
 func runGenerators(cat *Catalog, cfg SimConfig, p PipelineConfig, stop *atomic.Bool,
-	newHandler func() (handle func(genWindow, []logs.Click), flush func())) error {
+	newHandler func() (handle func(gw genWindow, gen func(emit func(ClickRef) bool)), flush func())) error {
 	samplers := make(map[logs.Source]*sourceSampler, len(sources))
 	for _, src := range sources {
 		sp, err := newSourceSampler(cat, cfg, src)
@@ -100,20 +104,33 @@ func runGenerators(cat *Catalog, cfg SimConfig, p PipelineConfig, stop *atomic.B
 			defer wg.Done()
 			handle, flush := newHandler()
 			defer flush()
+			var buf []ClickRef // Tap replay buffer, reused per worker
 			for gw := range work {
 				if stop != nil && stop.Load() {
 					continue
 				}
-				clicks := make([]logs.Click, 0, gw.hi-gw.lo)
-				// The no-error emit only appends, so generate cannot fail.
-				_ = samplers[gw.source].generate(gw.lo, gw.hi, func(c logs.Click) error {
-					clicks = append(clicks, c)
-					return nil
-				})
-				if p.Tap != nil {
-					p.Tap(gw.source, gw.index, clicks)
+				sp := samplers[gw.source]
+				gen := func(emit func(ClickRef) bool) {
+					sp.generateRefs(gw.lo, gw.hi, emit)
 				}
-				handle(gw, clicks)
+				if p.Tap != nil {
+					// Generate once into the replay buffer so the tap
+					// observes the window without a second RNG pass.
+					buf = buf[:0]
+					sp.generateRefs(gw.lo, gw.hi, func(r ClickRef) bool {
+						buf = append(buf, r)
+						return true
+					})
+					p.Tap(gw.source, gw.index, materialize(make([]logs.Click, 0, len(buf)), cat, buf))
+					gen = func(emit func(ClickRef) bool) {
+						for _, r := range buf {
+							if !emit(r) {
+								return
+							}
+						}
+					}
+				}
+				handle(gw, gen)
 			}
 		}()
 	}
@@ -129,12 +146,15 @@ func runGenerators(cat *Catalog, cfg SimConfig, p PipelineConfig, stop *atomic.B
 // into a ShardedAggregator with no serial stage anywhere: per-window
 // generator workers synthesize clicks (leapfrog RNG substreams, see
 // internal/dist) and fan them directly into entity-hash shard workers,
-// so generation, routing and aggregation all run concurrently. For a
-// fixed seed the merged result is byte-identical to serial Simulate +
+// so generation, routing and aggregation all run concurrently. The
+// whole path moves 16-byte ClickRefs — no URL is ever formatted,
+// hashed or parsed — and spent batches recycle shard → router through
+// a free list, so the steady state allocates nothing. For a fixed seed
+// the merged result is byte-identical to serial Simulate +
 // Aggregator.Add — and to SimulateParallel — for every
 // (Generators, Shards, Window) setting: windows are exact sub-ranges of
-// the same per-source streams, routing is a pure function of the click,
-// and per-entity aggregation is order-independent.
+// the same per-source streams, routing is a pure function of the
+// click's entity, and per-entity aggregation is order-independent.
 func GeneratePipeline(cat *Catalog, cfg SimConfig, p PipelineConfig) (*ShardedAggregator, error) {
 	if len(cat.Entities) == 0 {
 		return nil, fmt.Errorf("demand: empty catalog")
@@ -142,13 +162,15 @@ func GeneratePipeline(cat *Catalog, cfg SimConfig, p PipelineConfig) (*ShardedAg
 	cfg = withSimDefaults(cfg, len(cat.Entities))
 	p = p.withDefaults()
 	sa := NewShardedAggregator(cat, p.Shards)
-	chans, wait := sa.startWorkers(8)
-	err := runGenerators(cat, cfg, p, nil, func() (func(genWindow, []logs.Click), func()) {
-		r := sa.newRouter(chans)
-		handle := func(_ genWindow, clicks []logs.Click) {
-			for _, c := range clicks {
-				r.emit(c)
-			}
+	sa.SetCookieHint(cfg.Cookies)
+	chans, free, wait := sa.startWorkers(8)
+	err := runGenerators(cat, cfg, p, nil, func() (func(genWindow, func(func(ClickRef) bool)), func()) {
+		r := sa.newRouter(chans, free)
+		handle := func(_ genWindow, gen func(emit func(ClickRef) bool)) {
+			gen(func(ref ClickRef) bool {
+				r.emit(ref)
+				return true
+			})
 		}
 		return handle, r.flush
 	})
@@ -166,10 +188,12 @@ func GeneratePipeline(cat *Catalog, cfg SimConfig, p PipelineConfig) (*ShardedAg
 // per-window generator workers but delivers them to emit from a single
 // goroutine in canonical stream order — exactly the sequence Simulate
 // produces — for consumers that need an ordered stream (log files,
-// canonical hashing). A reorder buffer holds windows that finish ahead
-// of their turn; its size is bounded by the workers' window skew. An
-// emit error stops generation promptly and is returned. p.Shards is
-// unused here; Tap fires as in GeneratePipeline.
+// canonical hashing). This is a serialization boundary: workers
+// materialize each window to wire clicks (the only allocation on the
+// path) before the reorder buffer holds windows that finish ahead of
+// their turn; its size is bounded by the workers' window skew. An emit
+// error stops generation promptly and is returned. p.Shards is unused
+// here; Tap fires as in GeneratePipeline.
 func GenerateOrdered(cat *Catalog, cfg SimConfig, p PipelineConfig, emit func(logs.Click) error) error {
 	if len(cat.Entities) == 0 {
 		return fmt.Errorf("demand: empty catalog")
@@ -212,8 +236,13 @@ func GenerateOrdered(cat *Catalog, cfg SimConfig, p PipelineConfig, emit func(lo
 			}
 		}
 	}()
-	err := runGenerators(cat, cfg, p, &stop, func() (func(genWindow, []logs.Click), func()) {
-		handle := func(gw genWindow, clicks []logs.Click) {
+	err := runGenerators(cat, cfg, p, &stop, func() (func(genWindow, func(func(ClickRef) bool)), func()) {
+		handle := func(gw genWindow, gen func(emit func(ClickRef) bool)) {
+			clicks := make([]logs.Click, 0, gw.hi-gw.lo)
+			gen(func(r ClickRef) bool {
+				clicks = append(clicks, r.Click(cat))
+				return true
+			})
 			out <- seqBatch{seq: gw.seq, clicks: clicks}
 		}
 		return handle, func() {}

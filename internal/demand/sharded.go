@@ -1,6 +1,7 @@
 package demand
 
 import (
+	"math/bits"
 	"runtime"
 	"sync"
 
@@ -8,28 +9,46 @@ import (
 )
 
 // ShardedAggregator partitions per-entity demand state across shards so
-// N workers can fold a click stream concurrently. Clicks are routed to
-// shards by a hash of their entity URL, so every click for one entity
-// lands on the same shard and no per-entity state is ever shared across
-// goroutines. The merged result is identical to folding the same stream
-// through one Aggregator serially: per-entity aggregation (visit counts
-// and cookie-set insertion) is order-independent, and routing is a pure
-// function of the click.
+// N workers can fold a click stream concurrently. Clicks route to
+// shards round-robin by catalog entity index (shard = entity mod N) —
+// no URL is hashed or parsed anywhere on the routing path — so every
+// click for one entity lands on the same shard and no per-entity state
+// is ever shared across goroutines. Each shard stores only its own
+// entities, densely (local index = entity div N): head entities, which
+// carry the bulk of Zipfian traffic, interleave across shards and pack
+// into adjacent slots, so the total footprint equals one serial
+// aggregator's regardless of shard count. The merged result is
+// identical to folding the same stream through one Aggregator serially:
+// per-entity aggregation (visit counts and cookie-set insertion) is
+// order-independent, and routing is a pure function of the click's
+// entity.
 type ShardedAggregator struct {
 	shards []*Aggregator
+	n      int  // catalog entity count
+	shift  uint // log2(shards) when shards is a power of two
+	pow2   bool
 }
 
 // NewShardedAggregator returns an aggregator with `shards` partitions
-// over cat (minimum 1). The catalog key lookup is built once and shared
-// read-only across shards.
+// over cat (minimum 1). The catalog URL/key lookups are built once and
+// shared read-only across shards.
 func NewShardedAggregator(cat *Catalog, shards int) *ShardedAggregator {
 	if shards < 1 {
 		shards = 1
 	}
-	byKey := cat.ByKey()
-	sa := &ShardedAggregator{shards: make([]*Aggregator, shards)}
-	for i := range sa.shards {
-		sa.shards[i] = newAggregator(byKey, cat.Site, len(cat.Entities))
+	byKey, byURL := cat.ByKey(), cat.ByURL()
+	n := len(cat.Entities)
+	sa := &ShardedAggregator{shards: make([]*Aggregator, shards), n: n}
+	if shards&(shards-1) == 0 {
+		sa.pow2, sa.shift = true, uint(bits.TrailingZeros(uint(shards)))
+	}
+	for s := range sa.shards {
+		// Shard s owns entities s, s+shards, s+2*shards, ...
+		size := 0
+		if s < n {
+			size = (n - s + shards - 1) / shards
+		}
+		sa.shards[s] = newAggregator(byKey, byURL, cat.Site, size)
 	}
 	return sa
 }
@@ -37,8 +56,38 @@ func NewShardedAggregator(cat *Catalog, shards int) *ShardedAggregator {
 // Shards returns the partition count.
 func (sa *ShardedAggregator) Shards() int { return len(sa.shards) }
 
-// ShardOf routes a click to its owning shard (FNV-1a over the URL).
+// SetCookieHint forwards Aggregator.SetCookieHint to every shard.
+func (sa *ShardedAggregator) SetCookieHint(max int) {
+	for _, sh := range sa.shards {
+		sh.SetCookieHint(max)
+	}
+}
+
+// localize rewrites a global-entity ref into its owning shard's dense
+// local index space, returning the shard. Power-of-two shard counts —
+// the common default — take the mask/shift path: an integer division
+// per event is real money on the routing hot path.
+func (sa *ShardedAggregator) localize(r *ClickRef) (shard int) {
+	e := int(r.Entity)
+	if sa.pow2 {
+		r.Entity = int32(e >> sa.shift)
+		return e & (len(sa.shards) - 1)
+	}
+	s := len(sa.shards)
+	r.Entity = int32(e / s)
+	return e % s
+}
+
+// ShardOf routes a click to its owning shard. Entity clicks route by
+// their resolved entity index — the same function the ref pipeline
+// uses, so mixing Add and pipeline feeds on one aggregator keeps every
+// entity on a single shard. Non-entity clicks (which every shard would
+// drop anyway) route by an FNV-1a hash of the URL, stable but
+// arbitrary.
 func (sa *ShardedAggregator) ShardOf(c logs.Click) int {
+	if r, ok := sa.refOf(c); ok {
+		return int(r.Entity) % len(sa.shards)
+	}
 	var h uint64 = 0xcbf29ce484222325
 	for i := 0; i < len(c.URL); i++ {
 		h ^= uint64(c.URL[i])
@@ -47,21 +96,31 @@ func (sa *ShardedAggregator) ShardOf(c logs.Click) int {
 	return int(h % uint64(len(sa.shards)))
 }
 
+// refOf resolves a wire click to the internal representation with its
+// global entity index (every shard shares the catalog-wide lookups).
+func (sa *ShardedAggregator) refOf(c logs.Click) (ClickRef, bool) {
+	return sa.shards[0].refOf(c)
+}
+
 // Add folds one click into its owning shard. Safe to call concurrently
 // only for clicks that route to different shards; use Feed (or
 // GeneratePipeline) for the general concurrent case.
 func (sa *ShardedAggregator) Add(c logs.Click) {
-	sa.shards[sa.ShardOf(c)].Add(c)
+	r, ok := sa.refOf(c)
+	if !ok {
+		return
+	}
+	sa.shards[sa.localize(&r)].AddRef(r)
 }
 
 // Demand merges the per-shard estimates, indexed by entity ID. Shards
-// own disjoint entities, so merging is a field-wise sum.
+// own disjoint entities, so merging scatters each shard's dense local
+// estimates back to global entity positions.
 func (sa *ShardedAggregator) Demand(source logs.Source) []Estimate {
-	out := sa.shards[0].Demand(source)
-	for _, sh := range sa.shards[1:] {
-		for i, e := range sh.Demand(source) {
-			out[i].Visits += e.Visits
-			out[i].UniqueCookies += e.UniqueCookies
+	out := make([]Estimate, sa.n)
+	for s, sh := range sa.shards {
+		for j, e := range sh.Demand(source) {
+			out[j*len(sa.shards)+s] = e
 		}
 	}
 	return out
@@ -69,101 +128,203 @@ func (sa *ShardedAggregator) Demand(source logs.Source) []Estimate {
 
 // feedBatchSize is the unit sent to shard workers: routing a click at a
 // time over a channel would pay one synchronization per event; batching
-// amortizes it ~2 orders of magnitude.
-const feedBatchSize = 512
+// amortizes it ~3 orders of magnitude. At 16 bytes per ClickRef a full
+// batch is 16 KiB — small enough to stay cache-resident while it cycles
+// router → shard → free list → router.
+const feedBatchSize = 1024
+
+// freeList recycles spent ref batches from shard workers back to
+// routers, so steady-state routing allocates nothing: the working set
+// is a fixed pool of batches cycling through the pipeline instead of a
+// fresh slice per 512 events that the shard immediately drops. get
+// falls back to allocating and put to dropping when the pool runs dry
+// or full, so it is never a synchronization point.
+type freeList struct {
+	ch chan []ClickRef
+}
+
+func newFreeList(size int) *freeList {
+	return &freeList{ch: make(chan []ClickRef, size)}
+}
+
+// get returns an empty batch with feedBatchSize capacity.
+func (f *freeList) get() []ClickRef {
+	select {
+	case b := <-f.ch:
+		return b
+	default:
+		return make([]ClickRef, 0, feedBatchSize)
+	}
+}
+
+// put recycles a spent batch.
+func (f *freeList) put(b []ClickRef) {
+	select {
+	case f.ch <- b[:0]:
+	default:
+	}
+}
 
 // startWorkers launches one goroutine per shard, each folding batches
-// from its channel into its own Aggregator. Channels are multi-producer
-// safe, so any number of routers may send concurrently. The caller must
-// close every channel and then call wait.
-func (sa *ShardedAggregator) startWorkers(buffer int) (chans []chan []logs.Click, wait func()) {
-	chans = make([]chan []logs.Click, len(sa.shards))
+// from its channel into its own Aggregator and recycling the spent
+// batch. Channels are multi-producer safe, so any number of routers may
+// send concurrently. The caller must close every channel and then call
+// wait.
+func (sa *ShardedAggregator) startWorkers(buffer int) (chans []chan []ClickRef, free *freeList, wait func()) {
+	chans = make([]chan []ClickRef, len(sa.shards))
+	// Size the pool for every batch that can be in flight at once:
+	// each shard channel full, plus one being folded per shard.
+	free = newFreeList(len(sa.shards) * (buffer + 1))
 	var wg sync.WaitGroup
 	for i := range sa.shards {
-		chans[i] = make(chan []logs.Click, buffer)
+		chans[i] = make(chan []ClickRef, buffer)
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			sh := sa.shards[i]
 			for batch := range chans[i] {
-				for _, c := range batch {
-					sa.shards[i].Add(c)
+				for _, r := range batch {
+					sh.AddRef(r)
 				}
+				free.put(batch)
 			}
 		}(i)
 	}
-	return chans, wg.Wait
+	return chans, free, wg.Wait
 }
 
-// router batches clicks per shard for ONE producer goroutine. Multiple
-// producers each get their own router over the same shard channels;
-// only the channel sends synchronize.
+// router batches refs per shard for ONE producer goroutine. Multiple
+// producers each get their own router over the same shard channels and
+// free list; only the channel operations synchronize.
 type router struct {
 	sa      *ShardedAggregator
-	chans   []chan []logs.Click
-	pending [][]logs.Click
+	chans   []chan []ClickRef
+	free    *freeList
+	pending [][]ClickRef
 }
 
-func (sa *ShardedAggregator) newRouter(chans []chan []logs.Click) *router {
-	return &router{sa: sa, chans: chans, pending: make([][]logs.Click, len(chans))}
+func (sa *ShardedAggregator) newRouter(chans []chan []ClickRef, free *freeList) *router {
+	r := &router{sa: sa, chans: chans, free: free, pending: make([][]ClickRef, len(chans))}
+	for i := range r.pending {
+		r.pending[i] = free.get()
+	}
+	return r
 }
 
-// emit routes one click to its shard's pending batch, flushing the
-// batch when full.
-func (r *router) emit(c logs.Click) {
-	i := r.sa.ShardOf(c)
-	r.pending[i] = append(r.pending[i], c)
-	if len(r.pending[i]) >= feedBatchSize {
-		r.chans[i] <- r.pending[i]
-		r.pending[i] = make([]logs.Click, 0, feedBatchSize)
+// emit routes one global-entity ref to its owning shard's pending
+// batch (localizing it on the way); sendShard flushes a full batch.
+// The hot path is just localize + append — pending batches are primed
+// at construction and replaced on flush, so there is no nil check per
+// event and the send path stays out of the inliner's way.
+func (r *router) emit(ref ClickRef) {
+	i := r.sa.localize(&ref)
+	p := append(r.pending[i], ref)
+	r.pending[i] = p
+	if len(p) >= feedBatchSize {
+		r.sendShard(i)
 	}
 }
 
-// flush sends every non-empty pending batch.
+// sendShard flushes shard i's pending batch and primes a fresh one.
+func (r *router) sendShard(i int) {
+	r.chans[i] <- r.pending[i]
+	r.pending[i] = r.free.get()
+}
+
+// flush sends every non-empty pending batch at end of stream.
 func (r *router) flush() {
 	for i, batch := range r.pending {
 		if len(batch) > 0 {
 			r.chans[i] <- batch
-			r.pending[i] = nil
 		}
+		r.pending[i] = nil
 	}
 }
 
 // Feed starts one worker per shard and returns an emit function that
-// routes clicks to them, plus a close function that flushes and joins
-// the workers. emit is for a single producer goroutine; concurrent
-// producers should use GeneratePipeline (simulated streams) or
-// startWorkers-style fan-in with one router each. Exposed for callers
-// with their own serial click sources (log replay, network ingest).
+// routes wire clicks to them, plus a close function that flushes and
+// joins the workers. Resolving a wire click to the internal
+// representation (an interned-map hit for canonical catalog URLs, the
+// general parser for everything else — and real logs are full of
+// non-entity URLs) is the expensive stage of replay, so emit only
+// batches raw clicks; a pool of resolver goroutines does the
+// resolution and routing concurrently, each with its own router over
+// the shared shard channels. Foreign clicks drop at the resolvers, so
+// shard workers fold pure entity indexes. emit is for a single
+// producer goroutine; concurrent producers should use
+// GeneratePipeline (simulated streams) or startWorkers-style fan-in
+// with one router each. Exposed for callers with their own serial
+// click sources (log replay, network ingest).
 func (sa *ShardedAggregator) Feed() (emit func(logs.Click), done func()) {
-	chans, wait := sa.startWorkers(8)
-	r := sa.newRouter(chans)
+	chans, free, wait := sa.startWorkers(8)
+	resolvers := runtime.GOMAXPROCS(0)
+	if resolvers > len(sa.shards) {
+		resolvers = len(sa.shards)
+	}
+	if resolvers < 1 {
+		resolvers = 1
+	}
+	in := make(chan []logs.Click, resolvers)
+	var rwg sync.WaitGroup
+	for i := 0; i < resolvers; i++ {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			r := sa.newRouter(chans, free)
+			for batch := range in {
+				for _, c := range batch {
+					if ref, ok := sa.refOf(c); ok {
+						r.emit(ref)
+					}
+				}
+			}
+			r.flush()
+		}()
+	}
+	buf := make([]logs.Click, 0, feedBatchSize)
+	emit = func(c logs.Click) {
+		buf = append(buf, c)
+		if len(buf) >= feedBatchSize {
+			in <- buf
+			buf = make([]logs.Click, 0, feedBatchSize)
+		}
+	}
 	done = func() {
-		r.flush()
+		if len(buf) > 0 {
+			in <- buf
+		}
+		close(in)
+		rwg.Wait()
 		for i := range chans {
 			close(chans[i])
 		}
 		wait()
 	}
-	return r.emit, done
+	return emit, done
 }
 
 // SimulateParallel simulates the click streams for cat (identically to
 // Simulate) and aggregates them across `shards` concurrent shard
-// workers (<= 0: GOMAXPROCS). Generation stays a serial producer here;
-// GeneratePipeline parallelizes that stage too. For a fixed seed the
-// result is identical to serial Simulate + Aggregator.Add — and to
-// GeneratePipeline — whatever the shard count.
+// workers (<= 0: GOMAXPROCS). Generation stays a serial producer here —
+// GeneratePipeline parallelizes that stage too — but it produces
+// ClickRefs straight into the router, never materializing a URL. For a
+// fixed seed the result is identical to serial Simulate +
+// Aggregator.Add — and to GeneratePipeline — whatever the shard count.
 func SimulateParallel(cat *Catalog, cfg SimConfig, shards int) (*ShardedAggregator, error) {
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
 	sa := NewShardedAggregator(cat, shards)
-	emit, done := sa.Feed()
-	err := Simulate(cat, cfg, func(c logs.Click) error {
-		emit(c)
-		return nil
-	})
-	done()
+	cfg = withSimDefaults(cfg, len(cat.Entities))
+	sa.SetCookieHint(cfg.Cookies)
+	chans, free, wait := sa.startWorkers(8)
+	r := sa.newRouter(chans, free)
+	err := SimulateRefs(cat, cfg, r.emit)
+	r.flush()
+	for i := range chans {
+		close(chans[i])
+	}
+	wait()
 	if err != nil {
 		return nil, err
 	}

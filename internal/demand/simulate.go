@@ -87,42 +87,47 @@ func newSourceSampler(cat *Catalog, cfg SimConfig, source logs.Source) (*sourceS
 	if source == logs.Browse {
 		bias = *cfg.BrowseHeadBias
 	}
-	weights := make([]float64, len(cat.Entities))
-	for i, e := range cat.Entities {
-		// Browse head bias: tilt latent demand by rank^-bias.
-		weights[i] = e.demand * math.Pow(float64(i+1), -bias)
-	}
-	alias, err := dist.NewAlias(weights)
+	alias, err := cat.demandAlias(source, bias)
 	if err != nil {
-		return nil, fmt.Errorf("demand: alias over latent demand: %w", err)
+		return nil, err
 	}
 	return &sourceSampler{cat: cat, cfg: cfg, source: source, alias: alias}, nil
 }
 
-// generate emits events [lo, hi) of the source's click stream. The
+// generateRefs emits events [lo, hi) of the source's click stream as
+// ClickRefs — the zero-string hot path every consumer builds on. The
 // stream is a pure function of (seed, source, event index): the RNG
 // seeds from dist.StreamSeed(seed, source) and jumps to draw
 // lo*clickDraws, and every event consumes exactly clickDraws draws, so
 // any partition of the event index space concatenates to the unsplit
-// stream.
-func (sp *sourceSampler) generate(lo, hi int, emit func(logs.Click) error) error {
+// stream. emit returning false stops generation early.
+func (sp *sourceSampler) generateRefs(lo, hi int, emit func(ClickRef) bool) {
 	rng := dist.NewRNG(dist.StreamSeed(sp.cfg.Seed, sourceStreamID(sp.source)))
 	rng.Jump(uint64(lo) * clickDraws)
+	src := uint8(srcIdx(sp.source))
 	for ev := lo; ev < hi; ev++ {
 		e := sp.alias.Sample(rng)                      // draws 1–2
 		cookie := uint64(rng.Intn(sp.cfg.Cookies)) + 1 // draw 3
 		day := rng.Intn(365)                           // draw 4
-		c := logs.Click{
-			Source: sp.source,
-			Cookie: cookie,
-			Day:    day,
-			URL:    sp.cat.Entities[e].URL,
-		}
-		if err := emit(c); err != nil {
-			return fmt.Errorf("demand: emit click: %w", err)
+		if !emit(ClickRef{Cookie: cookie, Entity: int32(e), Day: int16(day), Src: src}) {
+			return
 		}
 	}
-	return nil
+}
+
+// generate is generateRefs materialized to the wire representation,
+// with the error-propagating emit contract the file/stream consumers
+// expect. An emit error stops generation immediately.
+func (sp *sourceSampler) generate(lo, hi int, emit func(logs.Click) error) error {
+	var err error
+	sp.generateRefs(lo, hi, func(r ClickRef) bool {
+		if e := emit(r.Click(sp.cat)); e != nil {
+			err = fmt.Errorf("demand: emit click: %w", e)
+			return false
+		}
+		return true
+	})
+	return err
 }
 
 // Simulate generates the search and browse click streams for a catalog,
@@ -142,6 +147,26 @@ func Simulate(cat *Catalog, cfg SimConfig, emit func(logs.Click) error) error {
 		if err := sp.generate(0, cfg.Events, emit); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// SimulateRefs is Simulate in the internal representation: the same
+// streams in the same canonical order, emitted as ClickRefs with no
+// URL strings built or parsed anywhere. This is the serial fold's fast
+// path — pair it with Aggregator.AddRef and the aggregator indexes the
+// catalog directly instead of parsing its own generator's output.
+func SimulateRefs(cat *Catalog, cfg SimConfig, emit func(ClickRef)) error {
+	cfg = withSimDefaults(cfg, len(cat.Entities))
+	for _, source := range sources {
+		sp, err := newSourceSampler(cat, cfg, source)
+		if err != nil {
+			return err
+		}
+		sp.generateRefs(0, cfg.Events, func(r ClickRef) bool {
+			emit(r)
+			return true
+		})
 	}
 	return nil
 }
@@ -178,67 +203,121 @@ type Estimate struct {
 
 // Aggregator folds a click stream into per-entity demand estimates for
 // one catalog. Exact distinct counting by default; see Sketch for the
-// HyperLogLog alternative.
+// HyperLogLog alternative. AddRef is the zero-string fast path; Add
+// accepts wire clicks (log replay), resolving canonical catalog URLs
+// with one interned-string lookup and everything else through the
+// general parser.
 type Aggregator struct {
-	byKey  map[string]int
+	byKey map[string]int
+	// byURL interns the catalog's canonical entity URLs, so folding
+	// the simulator's own wire output costs one string-map hit instead
+	// of a parse plus a key lookup. Replayed log files hit it too:
+	// equality is by value, and canonical URLs dominate real replays.
+	byURL  map[string]int
 	site   logs.Site
-	perSrc map[logs.Source][]entityAgg
+	hint   uint64 // cookie-population bound; see SetCookieHint
+	perSrc [numSources][]entityAgg
 }
 
 type entityAgg struct {
-	visits  int
-	cookies map[uint64]struct{}
+	visits  int32 // saturates at MaxInt32; see AddRef
+	cookies cookieSet
 }
 
 // NewAggregator returns an Aggregator for cat.
 func NewAggregator(cat *Catalog) *Aggregator {
-	return newAggregator(cat.ByKey(), cat.Site, len(cat.Entities))
+	return newAggregator(cat.ByKey(), cat.ByURL(), cat.Site, len(cat.Entities))
 }
 
-// newAggregator shares a prebuilt key lookup — ShardedAggregator builds
-// it once for all shards. Cookie sets are allocated lazily on first
-// click so empty shards cost nothing.
-func newAggregator(byKey map[string]int, site logs.Site, n int) *Aggregator {
-	a := &Aggregator{
-		byKey:  byKey,
-		site:   site,
-		perSrc: make(map[logs.Source][]entityAgg, 2),
-	}
-	for _, s := range sources {
-		a.perSrc[s] = make([]entityAgg, n)
+// newAggregator shares prebuilt URL/key lookups — ShardedAggregator
+// builds them once for all shards. Cookie sets allocate lazily on
+// first click so empty shards and tail entities cost nothing.
+func newAggregator(byKey, byURL map[string]int, site logs.Site, n int) *Aggregator {
+	a := &Aggregator{byKey: byKey, byURL: byURL, site: site}
+	for i := range a.perSrc {
+		a.perSrc[i] = make([]entityAgg, n)
 	}
 	return a
 }
 
-// Add folds one click. Clicks for other sites or non-entity URLs are
-// ignored (real logs are full of them).
-func (a *Aggregator) Add(c logs.Click) {
-	site, key, ok := logs.ParseEntityURL(c.URL)
-	if !ok || site != a.site {
+// AddRef folds one click in the internal representation: a direct
+// index into per-entity state, no parsing, no hashing of strings.
+// Refs with out-of-range fields are ignored like foreign clicks.
+func (a *Aggregator) AddRef(r ClickRef) {
+	if int(r.Src) >= len(a.perSrc) {
 		return
 	}
-	id, ok := a.byKey[key]
+	aggs := a.perSrc[r.Src]
+	if r.Entity < 0 || int(r.Entity) >= len(aggs) {
+		return
+	}
+	ag := &aggs[r.Entity]
+	if ag.visits != math.MaxInt32 {
+		// Saturate rather than wrap: a single entity-source pair past
+		// 2^31 visits only happens in adversarial replays, and a
+		// pinned ceiling beats a negative count.
+		ag.visits++
+	}
+	ag.cookies.add(r.Cookie, a.hint)
+}
+
+// SetCookieHint tells the aggregator the cookie population is bounded
+// by [1, max] — true for any stream SimConfig{Cookies: max} generated —
+// letting heavily-visited entities count distinct cookies in a dense
+// bitmap instead of a growing hash table. It is purely a performance
+// hint: estimates are exact with or without it, cookies outside the
+// bound (replayed external logs) still count correctly, and changing
+// the hint mid-fold is safe — each converted set is bounded by its own
+// bitmap, never by the current hint. The simulation entry points that
+// build their own aggregator (GeneratePipeline, SimulateParallel) set
+// it automatically.
+func (a *Aggregator) SetCookieHint(max int) {
+	if max > 0 {
+		a.hint = uint64(max)
+	}
+}
+
+// Add folds one wire click. Clicks for other sites or non-entity URLs
+// are ignored (real logs are full of them).
+func (a *Aggregator) Add(c logs.Click) {
+	r, ok := a.refOf(c)
 	if !ok {
 		return
 	}
-	aggs := a.perSrc[c.Source]
-	if aggs == nil {
-		return
+	a.AddRef(r)
+}
+
+// refOf resolves a wire click to the internal representation, false
+// for clicks this aggregator ignores.
+func (a *Aggregator) refOf(c logs.Click) (ClickRef, bool) {
+	si := srcIdx(c.Source)
+	if si < 0 {
+		return ClickRef{}, false
 	}
-	aggs[id].visits++
-	if aggs[id].cookies == nil {
-		aggs[id].cookies = make(map[uint64]struct{}, 4)
+	id, ok := a.byURL[c.URL]
+	if !ok {
+		site, key, okParse := logs.ParseEntityURL(c.URL)
+		if !okParse || site != a.site {
+			return ClickRef{}, false
+		}
+		if id, ok = a.byKey[key]; !ok {
+			return ClickRef{}, false
+		}
 	}
-	aggs[id].cookies[c.Cookie] = struct{}{}
+	return ClickRef{Cookie: c.Cookie, Entity: int32(id), Day: int16(c.Day), Src: uint8(si)}, true
 }
 
 // Demand returns the per-entity estimates for one source, indexed by
 // entity ID.
 func (a *Aggregator) Demand(source logs.Source) []Estimate {
-	aggs := a.perSrc[source]
+	si := srcIdx(source)
+	if si < 0 {
+		return []Estimate{}
+	}
+	aggs := a.perSrc[si]
 	out := make([]Estimate, len(aggs))
 	for i := range aggs {
-		out[i] = Estimate{Visits: aggs[i].visits, UniqueCookies: len(aggs[i].cookies)}
+		out[i] = Estimate{Visits: int(aggs[i].visits), UniqueCookies: aggs[i].cookies.len()}
 	}
 	return out
 }

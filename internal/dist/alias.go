@@ -8,10 +8,29 @@ import (
 // Alias is a Walker/Vose alias table: O(n) construction, O(1) sampling
 // from an arbitrary discrete distribution. It is immutable after
 // construction and safe for concurrent Sample calls (each with its own
-// RNG).
+// RNG). The acceptance probability and alias index of a column share
+// one cell, so a sample touches a single cache line however the
+// rejection lands — on Zipfian catalogs the table is the hot random
+// access of click generation.
 type Alias struct {
-	prob  []float64
-	alias []int32
+	cells []aliasCell
+}
+
+// aliasCell holds a column's acceptance threshold in the 53-bit
+// integer domain Float64 draws from: "Float64() < prob" is evaluated
+// as "Uint64()>>11 < thr" with thr = ceil(prob * 2^53), which is
+// bit-for-bit the same decision (multiplying by a power of two is
+// exact, and comparing an integer-valued float against X is comparing
+// against ceil(X)) without the int-to-float conversion per draw.
+type aliasCell struct {
+	thr   uint64
+	alias int32
+}
+
+// probThreshold converts an acceptance probability to its integer
+// threshold. prob is in [0, 1]; 2^53 means "always accept".
+func probThreshold(prob float64) uint64 {
+	return uint64(math.Ceil(prob * (1 << 53)))
 }
 
 // NewAlias builds an alias table over weights. Weights must be finite
@@ -32,7 +51,7 @@ func NewAlias(weights []float64) (*Alias, error) {
 		return nil, fmt.Errorf("dist: alias weights sum to %v, need > 0", sum)
 	}
 
-	a := &Alias{prob: make([]float64, n), alias: make([]int32, n)}
+	a := &Alias{cells: make([]aliasCell, n)}
 	// Scaled probabilities; partition into under- and over-full columns.
 	scaled := make([]float64, n)
 	small := make([]int32, 0, n)
@@ -49,8 +68,7 @@ func NewAlias(weights []float64) (*Alias, error) {
 		s := small[len(small)-1]
 		small = small[:len(small)-1]
 		l := large[len(large)-1]
-		a.prob[s] = scaled[s]
-		a.alias[s] = l
+		a.cells[s] = aliasCell{thr: probThreshold(scaled[s]), alias: l}
 		scaled[l] -= 1 - scaled[s]
 		if scaled[l] < 1 {
 			large = large[:len(large)-1]
@@ -59,24 +77,28 @@ func NewAlias(weights []float64) (*Alias, error) {
 	}
 	// Leftovers are full columns (up to float rounding).
 	for _, i := range large {
-		a.prob[i] = 1
+		a.cells[i].thr = 1 << 53
 	}
 	for _, i := range small {
-		a.prob[i] = 1
+		a.cells[i].thr = 1 << 53
 	}
 	return a, nil
 }
 
 // N returns the support size.
-func (a *Alias) N() int { return len(a.prob) }
+func (a *Alias) N() int { return len(a.cells) }
 
-// Sample draws one index according to the weights.
+// Sample draws one index according to the weights. The two draws and
+// their acceptance decisions are identical to the textbook
+// "Float64() < prob" formulation (see aliasCell) — the golden stream
+// tests pin this bit-for-bit.
 func (a *Alias) Sample(rng *RNG) int {
-	i := rng.Intn(len(a.prob))
-	if rng.Float64() < a.prob[i] {
+	i := rng.Intn(len(a.cells))
+	c := a.cells[i]
+	if rng.Uint64()>>11 < c.thr {
 		return i
 	}
-	return int(a.alias[i])
+	return int(c.alias)
 }
 
 // SampleDistinct draws k distinct indices by rejection. When k reaches
@@ -84,7 +106,7 @@ func (a *Alias) Sample(rng *RNG) int {
 // (the synthetic-web generator switches to a Bernoulli scan above
 // n/10); worst-case cost grows as k approaches n.
 func (a *Alias) SampleDistinct(rng *RNG, k int) []int {
-	n := len(a.prob)
+	n := len(a.cells)
 	if k >= n {
 		out := make([]int, n)
 		for i := range out {

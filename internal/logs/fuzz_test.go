@@ -1,0 +1,62 @@
+package logs
+
+import "testing"
+
+// FuzzParseEntityURL fuzzes the canonical fast path against the
+// general regex parser over arbitrary byte strings — the property the
+// table-driven TestParseCanonicalAgreesWithRegex spot-checks, pushed
+// to every input shape the fuzzer can invent. Two invariants:
+//
+//  1. Whenever the fast path claims a parse, the regex parser must
+//     produce the identical (site, key) — the fast path may only ever
+//     defer, never disagree.
+//  2. ParseEntityURL (fast path + fallback) is observably equivalent
+//     to the regex parser alone on every input.
+//
+// Together these pin the fast path as a pure optimization: §4.1's URL
+// patterns have exactly one observable semantics. CI runs this in the
+// fuzz smoke alongside FuzzStreamVsParse.
+func FuzzParseEntityURL(f *testing.F) {
+	seeds := []string{
+		"",
+		"http://www.amazon.example.com/gp/product/B00A1B2C3D",
+		"http://www.amazon.example.com/gp/product/B00A1B2C3D/ref=x",
+		"http://www.amazon.example.com/gp/product/b00a1b2c3d",
+		"http://www.amazon.example.com/gp/product/",
+		"http://www.amazon.example.com/dp/B00A1B2C3D",
+		"https://amazon.com/widgets/dp/B00A1B2C3D?tag=x",
+		"http://www.yelp.example.com/biz/golden-kitchen-3",
+		"http://www.yelp.example.com/biz/golden-kitchen-3/menu#top",
+		"http://www.yelp.example.com/biz/",
+		"http://www.yelp.example.com/biz/UPPER-case",
+		"http://yelp.com/biz/cafe-x?osq=food",
+		"http://www.imdb.example.com/title/tt0111161/",
+		"http://www.imdb.example.com/title/tt011116123",
+		"http://www.imdb.example.com/title/tt01111",
+		"http://www.imdb.example.com/title/",
+		"http://www.imdb.example.com/title/tt0111161x",
+		"ftp://www.amazon.example.com/gp/product/B00A1B2C3D",
+		"http://www.amazon.example.com/gp/product/B00A1B2C3D\x00junk",
+		"www.yelp.example.com/biz/slug",
+		"http://example.com/unrelated",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, url string) {
+		wantSite, wantKey, wantOK := parseEntityURLRegex(url)
+
+		if site, key, ok := parseCanonical(url); ok {
+			if !wantOK || site != wantSite || key != wantKey {
+				t.Errorf("parseCanonical(%q) = (%q, %q, true), regex says (%q, %q, %v)",
+					url, site, key, wantSite, wantKey, wantOK)
+			}
+		}
+
+		gotSite, gotKey, gotOK := ParseEntityURL(url)
+		if gotSite != wantSite || gotKey != wantKey || gotOK != wantOK {
+			t.Errorf("ParseEntityURL(%q) = (%q, %q, %v), regex says (%q, %q, %v)",
+				url, gotSite, gotKey, gotOK, wantSite, wantKey, wantOK)
+		}
+	})
+}

@@ -2,16 +2,18 @@
 # bench.sh — run the tier-1 benchmarks with -benchmem and emit a
 # machine-readable snapshot (BENCH_<PR>.json) of the performance
 # trajectory: extraction (streaming vs retained-DOM baseline), demand
-# generation, and the serving layer.
+# generation (serial wire fold, serial ref fold, sharded, pipeline),
+# and the serving layer. cmd/benchdiff compares two snapshots and
+# gates CI on >20% ns/op regressions.
 #
 # Usage:
-#   scripts/bench.sh                 # BENCHTIME=2x, writes BENCH_4.json
+#   scripts/bench.sh                 # BENCHTIME=2x, writes BENCH_5.json
 #   BENCHTIME=5s OUT=/tmp/b.json scripts/bench.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-2x}"
-PR="${PR:-4}"
+PR="${PR:-5}"
 OUT="${OUT:-BENCH_${PR}.json}"
 
 raw="$(mktemp)"
@@ -31,6 +33,10 @@ BEGIN {
 }
 /^Benchmark/ {
   name = $1
+  # go test suffixes names with -GOMAXPROCS on multi-core hosts
+  # (none when GOMAXPROCS=1); strip it so BENCH files recorded on
+  # different hosts pair up in cmd/benchdiff.
+  sub(/-[0-9]+$/, "", name)
   ns = ""; bytes = ""; allocs = ""; mbs = ""
   for (i = 2; i < NF; i++) {
     if ($(i+1) == "ns/op")     ns = $i
