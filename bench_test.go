@@ -359,17 +359,29 @@ func BenchmarkRunAll(b *testing.B) {
 //     entity (interned catalog URLs cost one string-map hit). This is
 //     what replaying a click log costs, and the name-stable baseline
 //     the bench regression gate tracks across BENCH files.
-//   - serial-ref: the zero-string serial fold — SimulateRefs feeds
-//     Aggregator.AddRef, no URL ever built or parsed. The serial
-//     architecture after this PR's ClickRef change.
+//   - serial-ref: the zero-string serial fold — since PR 6 the
+//     columnar architecture: SimulateRefBatches streams reused ref
+//     batches into Aggregator.FoldBatch (struct-of-arrays state,
+//     cache-blocked per-block delta folds), no URL ever built or
+//     parsed. TestFoldBatchMatchesAddRef pins it bit-identical to the
+//     scalar AddRef loop it replaced.
+//   - serial-ref-scalar: the same fold one AddRef at a time — the
+//     PR 5 architecture, kept as the columnar row's ablation baseline.
 //   - serialgen-shardedagg: serial ref generation feeding 4 concurrent
-//     shard workers (SimulateParallel).
+//     shard workers (SimulateParallel; shards fold columnar batches).
 //   - pipeline/gen=N: the fully concurrent path (GeneratePipeline).
 //
-// The PR 5 contract: pipeline/gen=4 at ≥ 2x the wire-serial
-// throughput, and every row faster than its BENCH_4 predecessor. All
-// rows share the same aggregation structures (cookie bitmap hint
-// included), so the deltas isolate the representation, not tuning.
+// The PR 6 contract: serial-ref ≤ 15 ms/op and pipeline/gen=4 ≤ 22
+// ms/op on the bench host, with a measured drop in bytes moved per
+// click. All rows share the same aggregation structures (cookie bitmap
+// hint included), so the deltas isolate the layout, not tuning.
+//
+// Each demand row also reports "bytes/click": the aggregator's
+// modelled state traffic (Aggregator.BytesMoved — ref stream + visit
+// column touches + cookie-structure bytes, computed from column widths
+// and touch counts) divided by clicks folded. BENCH files carry it so
+// the trajectory tracks bandwidth, not just ns/op; the wire-serial row
+// reports none (its Add path measures replay cost, not layout).
 func BenchmarkGenerate(b *testing.B) {
 	cat, err := benchStudy.Catalog(logs.Amazon)
 	if err != nil {
@@ -377,6 +389,9 @@ func BenchmarkGenerate(b *testing.B) {
 	}
 	cfg := demand.SimConfig{Events: 200000, Cookies: 30000, Seed: 7}
 	events := func(b *testing.B) { b.SetBytes(int64(2 * cfg.Events)) }
+	perClick := func(b *testing.B, moved uint64) {
+		b.ReportMetric(float64(moved)/float64(b.N)/float64(2*cfg.Events), "bytes/click")
+	}
 
 	b.Run("serial", func(b *testing.B) {
 		events(b)
@@ -393,32 +408,56 @@ func BenchmarkGenerate(b *testing.B) {
 	})
 	b.Run("serial-ref", func(b *testing.B) {
 		events(b)
+		var moved uint64
+		for i := 0; i < b.N; i++ {
+			agg := demand.NewAggregator(cat)
+			agg.SetCookieHint(cfg.Cookies)
+			if err := demand.SimulateRefBatches(cat, cfg, 0, agg.FoldBatch); err != nil {
+				b.Fatal(err)
+			}
+			moved += agg.BytesMoved()
+		}
+		perClick(b, moved)
+	})
+	b.Run("serial-ref-scalar", func(b *testing.B) {
+		events(b)
+		var moved uint64
 		for i := 0; i < b.N; i++ {
 			agg := demand.NewAggregator(cat)
 			agg.SetCookieHint(cfg.Cookies)
 			if err := demand.SimulateRefs(cat, cfg, agg.AddRef); err != nil {
 				b.Fatal(err)
 			}
+			moved += agg.BytesMoved()
 		}
+		perClick(b, moved)
 	})
 	b.Run("serialgen-shardedagg", func(b *testing.B) {
 		events(b)
+		var moved uint64
 		for i := 0; i < b.N; i++ {
-			if _, err := demand.SimulateParallel(cat, cfg, 4); err != nil {
+			sa, err := demand.SimulateParallel(cat, cfg, 4)
+			if err != nil {
 				b.Fatal(err)
 			}
+			moved += sa.BytesMoved()
 		}
+		perClick(b, moved)
 	})
 	for _, gens := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("pipeline/gen=%d", gens), func(b *testing.B) {
 			events(b)
+			var moved uint64
 			for i := 0; i < b.N; i++ {
-				if _, err := demand.GeneratePipeline(cat, cfg, demand.PipelineConfig{
+				sa, err := demand.GeneratePipeline(cat, cfg, demand.PipelineConfig{
 					Generators: gens, Shards: 4,
-				}); err != nil {
+				})
+				if err != nil {
 					b.Fatal(err)
 				}
+				moved += sa.BytesMoved()
 			}
+			perClick(b, moved)
 		})
 	}
 }

@@ -35,15 +35,23 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// BytesPerClick is the demand rows' modelled aggregation-state
+	// traffic per click (Aggregator.BytesMoved / clicks), recorded
+	// since BENCH_6.
+	BytesPerClick float64 `json:"bytes_per_click,omitempty"`
 }
 
-// Delta is one compared benchmark.
+// Delta is one compared benchmark. Only the ns/op movement gates; the
+// old and new rows ride along so the report can show how allocation
+// and modelled-bandwidth columns moved with it — a row that got faster
+// by moving more memory is worth seeing, not failing.
 type Delta struct {
 	Name      string
 	OldNs     float64
 	NewNs     float64
 	Pct       float64 // (new-old)/old * 100; positive = slower
 	Regressed bool
+	Old, New  Result
 }
 
 // Compare pairs benchmarks by name and flags those whose ns/op grew by
@@ -74,6 +82,8 @@ func Compare(old, new *File, maxRegressPct, minNs float64) (deltas []Delta, only
 			NewNs:     r.NsPerOp,
 			Pct:       pct,
 			Regressed: pct > maxRegressPct && o.NsPerOp >= minNs,
+			Old:       o,
+			New:       r,
 		})
 	}
 	for _, r := range old.Results {
@@ -83,6 +93,26 @@ func Compare(old, new *File, maxRegressPct, minNs float64) (deltas []Delta, only
 	}
 	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Pct > deltas[j].Pct })
 	return deltas, onlyOld, onlyNew
+}
+
+// sideCols renders the informational columns — MB/op, allocs/op, and
+// the demand rows' modelled bytes/click — for row pairs that carry
+// them. These never gate: allocation and modelled-traffic shifts are
+// expected when layouts change, and the point of printing them beside
+// the ns/op verdict is to show what a time movement cost (or bought)
+// in memory terms.
+func sideCols(o, n Result) string {
+	s := ""
+	if o.BytesPerOp > 0 || n.BytesPerOp > 0 {
+		s += fmt.Sprintf("  %8.2f -> %8.2f MB/op", o.BytesPerOp/1e6, n.BytesPerOp/1e6)
+	}
+	if o.AllocsPerOp > 0 || n.AllocsPerOp > 0 {
+		s += fmt.Sprintf("  %7.0f -> %7.0f allocs/op", o.AllocsPerOp, n.AllocsPerOp)
+	}
+	if o.BytesPerClick > 0 || n.BytesPerClick > 0 {
+		s += fmt.Sprintf("  %6.2f -> %6.2f bytes/click", o.BytesPerClick, n.BytesPerClick)
+	}
+	return s
 }
 
 func load(path string) (*File, error) {
@@ -130,7 +160,7 @@ func main() {
 			mark = "!"
 			failed++
 		}
-		fmt.Printf("%s %-55s %14.0f -> %14.0f ns/op  %+7.1f%%\n", mark, d.Name, d.OldNs, d.NewNs, d.Pct)
+		fmt.Printf("%s %-55s %14.0f -> %14.0f ns/op  %+7.1f%%%s\n", mark, d.Name, d.OldNs, d.NewNs, d.Pct, sideCols(d.Old, d.New))
 	}
 	for _, n := range onlyOld {
 		fmt.Printf("- %-55s only in %s\n", n, flag.Arg(0))

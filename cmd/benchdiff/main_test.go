@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func file(rows ...Result) *File {
 	return &File{Schema: "bench/v1", Results: rows}
@@ -61,6 +64,39 @@ func TestCompareZeroOldNsSkipped(t *testing.T) {
 	deltas, _, _ := Compare(old, new, 20, 0)
 	if len(deltas) != 0 {
 		t.Fatalf("zero-baseline row must be skipped, got %+v", deltas)
+	}
+}
+
+// TestCompareCarriesMemoryColumns: the paired rows ride on the delta
+// so MB/op, allocs/op, and bytes/click render beside the verdict, and
+// none of them gate — only ns/op does.
+func TestCompareCarriesMemoryColumns(t *testing.T) {
+	old := file(Result{Name: "BenchmarkM", NsPerOp: 100, BytesPerOp: 1e6, AllocsPerOp: 9000, BytesPerClick: 64})
+	new := file(Result{Name: "BenchmarkM", NsPerOp: 100, BytesPerOp: 9e6, AllocsPerOp: 45, BytesPerClick: 59})
+	deltas, _, _ := Compare(old, new, 20, 0)
+	if len(deltas) != 1 {
+		t.Fatalf("deltas = %d, want 1", len(deltas))
+	}
+	d := deltas[0]
+	if d.Regressed {
+		t.Error("memory columns moving must not trip the ns/op gate")
+	}
+	if d.Old.BytesPerOp != 1e6 || d.New.BytesPerOp != 9e6 {
+		t.Errorf("bytes/op pair = %v -> %v", d.Old.BytesPerOp, d.New.BytesPerOp)
+	}
+	if d.Old.AllocsPerOp != 9000 || d.New.AllocsPerOp != 45 {
+		t.Errorf("allocs/op pair = %v -> %v", d.Old.AllocsPerOp, d.New.AllocsPerOp)
+	}
+	if d.Old.BytesPerClick != 64 || d.New.BytesPerClick != 59 {
+		t.Errorf("bytes/click pair = %v -> %v", d.Old.BytesPerClick, d.New.BytesPerClick)
+	}
+	for _, want := range []string{"MB/op", "allocs/op", "bytes/click"} {
+		if cols := sideCols(d.Old, d.New); !strings.Contains(cols, want) {
+			t.Errorf("sideCols %q missing %s", cols, want)
+		}
+	}
+	if cols := sideCols(Result{NsPerOp: 1}, Result{NsPerOp: 2}); cols != "" {
+		t.Errorf("rows without memory stats should render no side columns, got %q", cols)
 	}
 }
 

@@ -14,7 +14,9 @@ import (
 // all concurrent, no serial stage. The whole path moves 16-byte
 // demand.ClickRef values (catalog entity indexes): no URL is ever
 // formatted, hashed or parsed between generation and aggregation, and
-// spent batches recycle through a free list. The result is
+// spent batches recycle through a free list straight into each
+// shard's cache-blocked columnar batch fold (demand.FoldBatch). The
+// result is
 // byte-identical to the serial simulate-and-fold for any worker count
 // (windows are exact sub-ranges of the same streams; per-entity
 // aggregation is order-independent). Distinct sites build concurrently.

@@ -1,0 +1,146 @@
+package demand
+
+import "testing"
+
+// Promotion-boundary tests for cookieSet's graduated regimes: the
+// inline→table spill and the table→bitmap conversion each fire at an
+// exact distinct-cookie count, and a set must sit at the edge without
+// promoting until the count actually crosses it. The constants below
+// restate the policy under test: spill when a ninth distinct cookie
+// arrives at a full inline array, convert (or grow, when the hint is
+// loose or absent) when the table's load reaches 3/4 — 48 cookies in
+// the 64-slot table a spill builds.
+const (
+	spillAt   = smallCookies + 1 // 9th distinct cookie leaves inline
+	convertAt = 3 * (8 * smallCookies) / 4
+)
+
+// fill adds distinct cookies 1..n with the given hint.
+func fill(t *testing.T, s *cookieSet, ar *wordArena, n int, hint uint64) {
+	t.Helper()
+	for c := uint64(1); c <= uint64(n); c++ {
+		s.add(c, hint, ar)
+	}
+	if s.len() != n {
+		t.Fatalf("after %d distinct adds: len = %d", n, s.len())
+	}
+}
+
+func TestCookieSetStaysInlineAtCapacity(t *testing.T) {
+	var s cookieSet
+	var ar wordArena
+	fill(t, &s, &ar, smallCookies, 0)
+	if s.slots != nil || s.bits != nil {
+		t.Fatal("exactly smallCookies distinct cookies must stay inline")
+	}
+	// Duplicates at the capacity edge must not spill either.
+	for c := uint64(1); c <= smallCookies; c++ {
+		s.add(c, 0, &ar)
+	}
+	if s.slots != nil || s.len() != smallCookies {
+		t.Fatalf("duplicates spilled or recounted: slots=%v len=%d", s.slots != nil, s.len())
+	}
+}
+
+func TestCookieSetSpillsAtNinthDistinct(t *testing.T) {
+	var s cookieSet
+	var ar wordArena
+	fill(t, &s, &ar, spillAt, 0)
+	if s.slots == nil {
+		t.Fatalf("the %dth distinct cookie must spill to the table", spillAt)
+	}
+	if s.bits != nil {
+		t.Fatal("spill must not touch the bitmap regime")
+	}
+	if len(s.slots) != 8*smallCookies {
+		t.Fatalf("first table = %d slots, want %d", len(s.slots), 8*smallCookies)
+	}
+}
+
+// TestCookieSetConvertsAtTableLoadEdge: with a tight hint, the insert
+// that brings the table to 3/4 load converts to the bitmap; one short
+// of it stays on the table.
+func TestCookieSetConvertsAtTableLoadEdge(t *testing.T) {
+	const hint = 1000
+	var s cookieSet
+	var ar wordArena
+	fill(t, &s, &ar, convertAt-1, hint)
+	if s.bits != nil {
+		t.Fatalf("%d distinct cookies is below the load edge; converted early", convertAt-1)
+	}
+	// Duplicates at the edge leave the load untouched.
+	s.add(1, hint, &ar)
+	if s.bits != nil {
+		t.Fatal("a duplicate at the load edge must not convert")
+	}
+	s.add(convertAt, hint, &ar)
+	if s.bits == nil {
+		t.Fatalf("the %dth distinct cookie must convert to the bitmap", convertAt)
+	}
+	if s.slots != nil {
+		t.Fatal("no cookie exceeded the hint, so no overflow table should remain")
+	}
+	if s.len() != convertAt {
+		t.Fatalf("conversion lost cookies: len = %d, want %d", s.len(), convertAt)
+	}
+}
+
+// TestCookieSetGrowsAtTableLoadEdgeUnhinted: the same load edge without
+// a hint (or with one too loose for the 4*next rule) grows the table
+// 4x instead of converting.
+func TestCookieSetGrowsAtTableLoadEdgeUnhinted(t *testing.T) {
+	for _, hint := range []uint64{0, 100000} {
+		var s cookieSet
+		var ar wordArena
+		fill(t, &s, &ar, convertAt, hint)
+		if s.bits != nil {
+			t.Fatalf("hint=%d: converted at the first load edge; the 4*next rule should refuse", hint)
+		}
+		if len(s.slots) != 4*8*smallCookies {
+			t.Fatalf("hint=%d: table = %d slots after growth, want %d", hint, len(s.slots), 4*8*smallCookies)
+		}
+	}
+	// The loose hint converts at a later growth once the table is big
+	// enough for the 4*next rule to accept the bitmap.
+	const hint = 100000
+	var s cookieSet
+	var ar wordArena
+	fill(t, &s, &ar, 3*(4*8*smallCookies)/4, hint)
+	if s.bits == nil {
+		t.Fatal("loose hint: the second load edge must convert")
+	}
+	if s.len() != 3*(4*8*smallCookies)/4 {
+		t.Fatalf("conversion lost cookies: len = %d", s.len())
+	}
+}
+
+// TestCookieSetHintVsNoHintIdentity folds one adversarial stream —
+// duplicates, cookie zero, the promotion edges, and cookies beyond the
+// hint — through a hinted and an unhinted set and demands identical
+// counts after every single add. The hint is a layout decision, never
+// an estimate decision (the aggregator-level counterpart is
+// TestCookieHintDoesNotChangeEstimates).
+func TestCookieSetHintVsNoHintIdentity(t *testing.T) {
+	const hint = 300
+	var hinted, unhinted cookieSet
+	var ar1, ar2 wordArena
+	stream := []uint64{0}
+	for c := uint64(1); c <= 2*convertAt; c++ {
+		stream = append(stream, c, c) // every cookie twice, in place
+	}
+	stream = append(stream, hint+1, hint+50, hint+1, 0, 1, convertAt)
+	for i, c := range stream {
+		hinted.add(c, hint, &ar1)
+		unhinted.add(c, 0, &ar2)
+		if hinted.len() != unhinted.len() {
+			t.Fatalf("add %d (cookie %d): hinted len %d != unhinted len %d",
+				i, c, hinted.len(), unhinted.len())
+		}
+	}
+	if hinted.bits == nil {
+		t.Fatal("stream never exercised the bitmap regime")
+	}
+	if unhinted.bits != nil {
+		t.Fatal("unhinted set must never build a bitmap")
+	}
+}

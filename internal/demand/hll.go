@@ -120,14 +120,18 @@ func mix64(z uint64) uint64 {
 }
 
 // SketchAggregator mirrors Aggregator but counts unique cookies with
-// HyperLogLog sketches instead of exact sets. Sketches are allocated
-// lazily: most tail entities see a handful of clicks.
+// HyperLogLog sketches instead of exact sets. Like Aggregator, state
+// is struct-of-arrays: a dense visit column and a parallel
+// register-set column per source, indexed by entity and by the same
+// ClickRef.Src codes (replacing the former map[logs.Source] lookups on
+// the fold path). Sketches are allocated lazily: most tail entities
+// see a handful of clicks.
 type SketchAggregator struct {
 	byKey     map[string]int
 	site      logs.Site
 	precision uint8
-	perSrc    map[logs.Source][]*HLL
-	visits    map[logs.Source][]int
+	sketches  [numSources][]*HLL
+	visits    [numSources][]int
 }
 
 // NewSketchAggregator returns a sketch-based aggregator with the given
@@ -140,12 +144,10 @@ func NewSketchAggregator(cat *Catalog, precision uint8) (*SketchAggregator, erro
 		byKey:     cat.ByKey(),
 		site:      cat.Site,
 		precision: precision,
-		perSrc:    make(map[logs.Source][]*HLL, 2),
-		visits:    make(map[logs.Source][]int, 2),
 	}
-	for _, s := range []logs.Source{logs.Search, logs.Browse} {
-		sa.perSrc[s] = make([]*HLL, len(cat.Entities))
-		sa.visits[s] = make([]int, len(cat.Entities))
+	for i := range sa.sketches {
+		sa.sketches[i] = make([]*HLL, len(cat.Entities))
+		sa.visits[i] = make([]int, len(cat.Entities))
 	}
 	return sa, nil
 }
@@ -170,11 +172,10 @@ func (sa *SketchAggregator) Add(c logs.Click) {
 // AddRef folds one click in the internal representation, mirroring
 // Aggregator.AddRef for the sketched alternative.
 func (sa *SketchAggregator) AddRef(r ClickRef) {
-	if int(r.Src) >= len(sources) {
+	if int(r.Src) >= numSources {
 		return
 	}
-	src := sources[r.Src]
-	sketches := sa.perSrc[src]
+	sketches := sa.sketches[r.Src]
 	if r.Entity < 0 || int(r.Entity) >= len(sketches) {
 		return
 	}
@@ -186,15 +187,19 @@ func (sa *SketchAggregator) AddRef(r ClickRef) {
 		sketches[r.Entity] = h
 	}
 	sketches[r.Entity].Add(r.Cookie)
-	sa.visits[src][r.Entity]++
+	sa.visits[r.Src][r.Entity]++
 }
 
 // Demand returns per-entity estimates from the sketches.
 func (sa *SketchAggregator) Demand(source logs.Source) []Estimate {
-	sketches := sa.perSrc[source]
+	si := srcIdx(source)
+	if si < 0 {
+		return []Estimate{}
+	}
+	sketches := sa.sketches[si]
 	out := make([]Estimate, len(sketches))
 	for i, h := range sketches {
-		out[i].Visits = sa.visits[source][i]
+		out[i].Visits = sa.visits[si][i]
 		if h != nil {
 			out[i].UniqueCookies = h.Count()
 		}

@@ -149,7 +149,9 @@ func runGenerators(cat *Catalog, cfg SimConfig, p PipelineConfig, stop *atomic.B
 // so generation, routing and aggregation all run concurrently. The
 // whole path moves 16-byte ClickRefs — no URL is ever formatted,
 // hashed or parsed — and spent batches recycle shard → router through
-// a free list, so the steady state allocates nothing. For a fixed seed
+// a free list, so the steady state allocates nothing. Each shard
+// worker folds its recycled batches through the cache-blocked columnar
+// FoldBatch, not a per-ref AddRef loop. For a fixed seed
 // the merged result is byte-identical to serial Simulate +
 // Aggregator.Add — and to SimulateParallel — for every
 // (Generators, Shards, Window) setting: windows are exact sub-ranges of

@@ -195,6 +195,7 @@ func TestFeedMatchesSerial(t *testing.T) {
 func TestCookieSetAgainstMapReference(t *testing.T) {
 	const hint = 512
 	var s cookieSet
+	var ar wordArena
 	ref := map[uint64]struct{}{}
 	rng := dist.NewRNG(99)
 	for i := 0; i < 20000; i++ {
@@ -209,7 +210,7 @@ func TestCookieSetAgainstMapReference(t *testing.T) {
 		default:
 			c = uint64(rng.Intn(hint)) + 1 // hinted population
 		}
-		s.add(c, hint)
+		s.add(c, hint, &ar)
 		ref[c] = struct{}{}
 		if s.len() != len(ref) {
 			t.Fatalf("after %d adds: len %d, want %d", i+1, s.len(), len(ref))
@@ -230,9 +231,10 @@ func TestCookieSetAgainstMapReference(t *testing.T) {
 // conversion-time hint and the bitmap's word-aligned capacity.
 func TestCookieSetHintChangeMidFold(t *testing.T) {
 	var s cookieSet
+	var ar wordArena
 	ref := map[uint64]struct{}{}
 	add := func(c, hint uint64) {
-		s.add(c, hint)
+		s.add(c, hint, &ar)
 		if c != 0 {
 			ref[c] = struct{}{}
 		}
@@ -266,9 +268,10 @@ func TestCookieSetHintChangeMidFold(t *testing.T) {
 // force repeated growth.
 func TestCookieSetUnhinted(t *testing.T) {
 	var s cookieSet
+	var ar wordArena
 	for c := uint64(1); c <= 5000; c++ {
-		s.add(c, 0)
-		s.add(c, 0) // duplicate: must not double-count
+		s.add(c, 0, &ar)
+		s.add(c, 0, &ar) // duplicate: must not double-count
 	}
 	if s.len() != 5000 {
 		t.Fatalf("len = %d, want 5000", s.len())

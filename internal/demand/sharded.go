@@ -166,10 +166,11 @@ func (f *freeList) put(b []ClickRef) {
 }
 
 // startWorkers launches one goroutine per shard, each folding batches
-// from its channel into its own Aggregator and recycling the spent
-// batch. Channels are multi-producer safe, so any number of routers may
-// send concurrently. The caller must close every channel and then call
-// wait.
+// from its channel into its own Aggregator through the cache-blocked
+// columnar FoldBatch — recycled router batches feed straight into the
+// columnar fold — and recycling the spent batch. Channels are
+// multi-producer safe, so any number of routers may send concurrently.
+// The caller must close every channel and then call wait.
 func (sa *ShardedAggregator) startWorkers(buffer int) (chans []chan []ClickRef, free *freeList, wait func()) {
 	chans = make([]chan []ClickRef, len(sa.shards))
 	// Size the pool for every batch that can be in flight at once:
@@ -183,14 +184,24 @@ func (sa *ShardedAggregator) startWorkers(buffer int) (chans []chan []ClickRef, 
 			defer wg.Done()
 			sh := sa.shards[i]
 			for batch := range chans[i] {
-				for _, r := range batch {
-					sh.AddRef(r)
-				}
+				sh.FoldBatch(batch)
 				free.put(batch)
 			}
 		}(i)
 	}
 	return chans, free, wg.Wait
+}
+
+// BytesMoved sums the shards' modelled state traffic (see
+// Aggregator.BytesMoved). Router and channel traffic is not counted —
+// batches cycle through a fixed cache-resident pool. Call only after
+// the fold completes (workers joined); it does not synchronize.
+func (sa *ShardedAggregator) BytesMoved() uint64 {
+	var total uint64
+	for _, sh := range sa.shards {
+		total += sh.BytesMoved()
+	}
+	return total
 }
 
 // router batches refs per shard for ONE producer goroutine. Multiple

@@ -171,6 +171,39 @@ func SimulateRefs(cat *Catalog, cfg SimConfig, emit func(ClickRef)) error {
 	return nil
 }
 
+// SimulateRefBatches is SimulateRefs delivered in reused batches of up
+// to size refs (<= 0: DefaultFoldBatch) — the serial face of the
+// columnar fold: pair it with Aggregator.FoldBatch and the whole
+// serial path runs generation and cache-blocked aggregation over one
+// recycled buffer. Batches may span the search/browse boundary (the
+// fold partitions by source anyway); fold must not retain the slice,
+// which is overwritten by the next batch.
+func SimulateRefBatches(cat *Catalog, cfg SimConfig, size int, fold func([]ClickRef)) error {
+	if size <= 0 {
+		size = DefaultFoldBatch
+	}
+	cfg = withSimDefaults(cfg, len(cat.Entities))
+	buf := make([]ClickRef, 0, size)
+	for _, source := range sources {
+		sp, err := newSourceSampler(cat, cfg, source)
+		if err != nil {
+			return err
+		}
+		sp.generateRefs(0, cfg.Events, func(r ClickRef) bool {
+			buf = append(buf, r)
+			if len(buf) == size {
+				fold(buf)
+				buf = buf[:0]
+			}
+			return true
+		})
+	}
+	if len(buf) > 0 {
+		fold(buf)
+	}
+	return nil
+}
+
 // SimulateRange generates events [lo, hi) of one source's click stream:
 // exactly the clicks Simulate emits at those indices for the same
 // (cat, cfg), whatever the surrounding partitioning. hi may exceed
@@ -203,25 +236,46 @@ type Estimate struct {
 
 // Aggregator folds a click stream into per-entity demand estimates for
 // one catalog. Exact distinct counting by default; see Sketch for the
-// HyperLogLog alternative. AddRef is the zero-string fast path; Add
+// HyperLogLog alternative. AddRef is the zero-string scalar fast path
+// and FoldBatch (columnar.go) its cache-blocked batch sibling; Add
 // accepts wire clicks (log replay), resolving canonical catalog URLs
 // with one interned-string lookup and everything else through the
 // general parser.
+//
+// Per-entity state is struct-of-arrays: one dense int32 visit-count
+// column and one cookie-set column per source (sourceCols), not an
+// array of per-entity structs. The visit column packs 16 entities per
+// cache line where the old array-of-structs layout packed half an
+// entity, so the pure-counting half of a fold touches ~32× fewer
+// lines, and the fat cookie sets no longer ride along on every visit
+// increment — the layout PIMDAL-style bandwidth analysis asks for.
 type Aggregator struct {
 	byKey map[string]int
 	// byURL interns the catalog's canonical entity URLs, so folding
 	// the simulator's own wire output costs one string-map hit instead
 	// of a parse plus a key lookup. Replayed log files hit it too:
 	// equality is by value, and canonical URLs dominate real replays.
-	byURL  map[string]int
-	site   logs.Site
-	hint   uint64 // cookie-population bound; see SetCookieHint
-	perSrc [numSources][]entityAgg
+	byURL   map[string]int
+	site    logs.Site
+	hint    uint64 // cookie-population bound; see SetCookieHint
+	perSrc  [numSources]sourceCols
+	moved   uint64 // modelled state bytes; see BytesMoved
+	scratch foldScratch
+	// arena backs the cookie columns' tables and bitmaps (see
+	// wordArena): per-entity regime transitions carve slices from
+	// shared chunks instead of allocating individually.
+	arena wordArena
 }
 
-type entityAgg struct {
-	visits  int32 // saturates at MaxInt32; see AddRef
-	cookies cookieSet
+// sourceCols is one source's per-entity aggregation state in
+// struct-of-arrays layout: parallel dense columns indexed by entity.
+type sourceCols struct {
+	// visits saturates at MaxInt32; see AddRef.
+	visits []int32
+	// cookies are the exact distinct-cookie sets; lazily graduated
+	// (cookieSet zero value is an empty inline set), so tail entities
+	// cost their column slot and nothing else.
+	cookies []cookieSet
 }
 
 // NewAggregator returns an Aggregator for cat.
@@ -230,36 +284,48 @@ func NewAggregator(cat *Catalog) *Aggregator {
 }
 
 // newAggregator shares prebuilt URL/key lookups — ShardedAggregator
-// builds them once for all shards. Cookie sets allocate lazily on
-// first click so empty shards and tail entities cost nothing.
+// builds them once for all shards.
 func newAggregator(byKey, byURL map[string]int, site logs.Site, n int) *Aggregator {
 	a := &Aggregator{byKey: byKey, byURL: byURL, site: site}
 	for i := range a.perSrc {
-		a.perSrc[i] = make([]entityAgg, n)
+		a.perSrc[i] = sourceCols{
+			visits:  make([]int32, n),
+			cookies: make([]cookieSet, n),
+		}
 	}
 	return a
 }
 
 // AddRef folds one click in the internal representation: a direct
-// index into per-entity state, no parsing, no hashing of strings.
-// Refs with out-of-range fields are ignored like foreign clicks.
+// index into the per-entity columns, no parsing, no hashing of
+// strings. Refs with out-of-range fields are ignored like foreign
+// clicks. For batched streams FoldBatch is the faster equivalent.
 func (a *Aggregator) AddRef(r ClickRef) {
-	if int(r.Src) >= len(a.perSrc) {
+	if int(r.Src) >= numSources {
 		return
 	}
-	aggs := a.perSrc[r.Src]
-	if r.Entity < 0 || int(r.Entity) >= len(aggs) {
+	col := &a.perSrc[r.Src]
+	if r.Entity < 0 || int(r.Entity) >= len(col.visits) {
 		return
 	}
-	ag := &aggs[r.Entity]
-	if ag.visits != math.MaxInt32 {
+	if v := col.visits[r.Entity]; v != math.MaxInt32 {
 		// Saturate rather than wrap: a single entity-source pair past
 		// 2^31 visits only happens in adversarial replays, and a
 		// pinned ceiling beats a negative count.
-		ag.visits++
+		col.visits[r.Entity] = v + 1
 	}
-	ag.cookies.add(r.Cookie, a.hint)
+	a.moved += refMoveBytes + visitMoveBytes + col.cookies[r.Entity].add(r.Cookie, a.hint, &a.arena)
 }
+
+// BytesMoved returns the modelled aggregation-state traffic of every
+// fold so far, in bytes: refMoveBytes per ref consumed, visitMoveBytes
+// per visit-counter touch (per ref scalar, per distinct entity per
+// block for FoldBatch), and the cookie-structure bytes cookieSet.add
+// reports. It is an accounting model computed from column widths and
+// touch counts — not a hardware counter — so BENCH rows can track
+// bytes moved per click across layout changes. Not synchronized:
+// read it only after folding completes.
+func (a *Aggregator) BytesMoved() uint64 { return a.moved }
 
 // SetCookieHint tells the aggregator the cookie population is bounded
 // by [1, max] — true for any stream SimConfig{Cookies: max} generated —
@@ -314,10 +380,10 @@ func (a *Aggregator) Demand(source logs.Source) []Estimate {
 	if si < 0 {
 		return []Estimate{}
 	}
-	aggs := a.perSrc[si]
-	out := make([]Estimate, len(aggs))
-	for i := range aggs {
-		out[i] = Estimate{Visits: int(aggs[i].visits), UniqueCookies: aggs[i].cookies.len()}
+	col := &a.perSrc[si]
+	out := make([]Estimate, len(col.visits))
+	for i := range out {
+		out[i] = Estimate{Visits: int(col.visits[i]), UniqueCookies: col.cookies[i].len()}
 	}
 	return out
 }
