@@ -29,6 +29,7 @@ import (
 	"repro/internal/htmlx"
 	"repro/internal/index"
 	"repro/internal/logs"
+	"repro/internal/seg"
 	"repro/internal/synth"
 )
 
@@ -460,6 +461,82 @@ func BenchmarkGenerate(b *testing.B) {
 			perClick(b, moved)
 		})
 	}
+}
+
+// BenchmarkSegment measures the persistent click-log boundary under
+// the columnar segment store (internal/seg) at BenchmarkGenerate's
+// workload scale (400k clicks):
+//
+//   - write: ordered parallel generation encoded straight into segment
+//     blocks — what `clicklog gen -format seg` costs. Reports the
+//     encoded "bytes/click" (the on-disk footprint the per-column
+//     varint/RLE blocks achieve vs 16 B in RAM and ~60 B as TSV).
+//   - replay: decode + FeedRefs into 4 shard workers — what replaying
+//     a persisted log into demand aggregates costs. No URL is ever
+//     formatted or parsed; the PR 7 contract is replay throughput at
+//     or above the pipeline/gen=4 end-to-end rate (which must also
+//     synthesize the clicks it folds).
+//   - replay-pushdown/src: the same replay filtered to the search
+//     stream; source runs are contiguous so zone maps must prune the
+//     browse half, reported as "skippedsegs/op".
+func BenchmarkSegment(b *testing.B) {
+	cat, err := benchStudy.Catalog(logs.Amazon)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := demand.SimConfig{Events: 200000, Cookies: 30000, Seed: 7}
+	p := demand.PipelineConfig{Generators: 4}
+	events := func(b *testing.B) { b.SetBytes(int64(2 * cfg.Events)) }
+
+	var blob bytes.Buffer
+	w := seg.NewWriter(&blob, 0)
+	if err := demand.GenerateOrderedRefs(cat, cfg, p, w.Add); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("write", func(b *testing.B) {
+		events(b)
+		buf := bytes.NewBuffer(make([]byte, 0, blob.Len()))
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			sw := seg.NewWriter(buf, 0)
+			if err := demand.GenerateOrderedRefs(cat, cfg, p, sw.Add); err != nil {
+				b.Fatal(err)
+			}
+			if err := sw.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(blob.Len())/float64(2*cfg.Events), "bytes/click")
+	})
+	replay := func(b *testing.B, pred seg.Predicate, wantSkips bool) {
+		events(b)
+		var skipped int
+		for i := 0; i < b.N; i++ {
+			r, err := seg.NewReader(bytes.NewReader(blob.Bytes()), int64(blob.Len()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			sa := demand.NewShardedAggregator(cat, 4)
+			sa.SetCookieHint(cfg.Cookies)
+			emit, done := sa.FeedRefs()
+			st, err := r.Replay(pred, emit)
+			done()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st.Matched == 0 || (wantSkips && st.Skipped == 0) {
+				b.Fatalf("replay stats %+v", st)
+			}
+			skipped += st.Skipped
+		}
+		b.ReportMetric(float64(skipped)/float64(b.N), "skippedsegs/op")
+	}
+	b.Run("replay", func(b *testing.B) { replay(b, seg.All(), false) })
+	b.Run("replay-pushdown/src", func(b *testing.B) { replay(b, seg.All().WithSrc(0), true) })
 }
 
 // BenchmarkGenerateOnly isolates click synthesis (no aggregation):

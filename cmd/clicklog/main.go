@@ -1,9 +1,14 @@
 // Command clicklog generates and aggregates the §4 demand logs as
 // files. The file boundary is where the demand layer's internal
-// zero-string ClickRef representation materializes to the TSV wire
-// format (gen) and resolves back from it (agg) — agg recognizes
-// canonical simulator URLs with one interned-map hit and falls back to
-// the general §4.1 URL patterns for everything else.
+// zero-string ClickRef representation persists: either materialized to
+// the TSV wire format (-format tsv) and resolved back on replay — agg
+// recognizes canonical simulator URLs with one interned-map hit and
+// falls back to the general §4.1 URL patterns for everything else — or
+// written as a columnar ClickRef segment store (-format seg,
+// internal/seg: per-column varint/RLE blocks with per-segment zone
+// maps), which replays straight into the shard routers with no URL
+// ever formatted or parsed and a working set of one segment, whatever
+// the log size.
 //
 // Generate a year of search+browse traffic for one site (clicks are
 // synthesized by -gen parallel workers over leapfrog RNG substreams and
@@ -11,25 +16,51 @@
 // any worker count):
 //
 //	clicklog gen -site yelp -n 5000 -events 200000 -seed 1 -gen 8 -out clicks.tsv
+//	clicklog gen -site yelp -n 5000 -events 200000 -seed 1 -format seg -out clicks.seg
+//
+// Only successfully written clicks are counted, and a generation that
+// fails mid-stream removes its partial output file instead of leaving
+// a truncated log behind.
 //
 // Aggregate a log back into per-entity demand across -shards concurrent
-// shard workers and print the demand distribution summary:
+// shard workers and print the demand distribution summary (the input
+// format is sniffed from the file magic; -format overrides):
 //
 //	clicklog agg -site yelp -n 5000 -seed 1 -shards 8 -in clicks.tsv
+//	clicklog agg -site yelp -n 5000 -seed 1 -in clicks.seg -src browse -days 0:90
+//
+// Segment replay takes pushdown predicates — -src, -days lo:hi,
+// -entities lo:hi — and skips whole segments whose zone maps cannot
+// match, reporting scanned vs skipped counts. TSV replay skips
+// malformed lines with a counter (use -strict to abort on the first
+// bad line instead) and reports parsed vs aggregated vs dropped
+// (non-entity) vs malformed separately. -cookies hints the known
+// cookie population so heavily-visited entities count distinct cookies
+// in a dense bitmap (demand.SetCookieHint) instead of a growing table.
+//
+// Replay drives the sharded aggregator's single-producer entry points:
+// clicks (or decoded ref batches) are emitted from this command's one
+// reader goroutine, as ShardedAggregator.Feed/FeedRefs require —
+// parallelism lives behind the emit, in the resolver pool and shard
+// workers, not in front of it.
 //
 // The (site, n, seed) triple must match between gen and agg so the
 // catalog (and its URL keys) regenerates identically.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 
 	"repro/internal/demand"
 	"repro/internal/logs"
+	"repro/internal/seg"
 	"repro/internal/stats"
 )
 
@@ -61,90 +92,329 @@ func catalogFor(site string, n int, seed uint64) (*demand.Catalog, error) {
 	return demand.GenerateCatalog(demand.SiteDefaults(s, n, seed))
 }
 
+// genOptions parameterizes one generation run — the flag-free form the
+// CLI test drives directly.
+type genOptions struct {
+	site    string
+	n       int
+	events  int
+	cookies int
+	seed    uint64
+	gen     int
+	out     string
+	format  string // tsv | seg
+	segRows int
+	// failAfter, when >0, fails the write path after that many clicks —
+	// a test hook (no flag binds it) for the partial-file cleanup
+	// contract.
+	failAfter uint64
+}
+
+// errGenFailAfter is the injected failure genOptions.failAfter raises.
+var errGenFailAfter = errors.New("injected write failure")
+
+// generate writes the simulated click stream for o to o.out and
+// returns the number of clicks successfully written. The count
+// increments only after the writer accepts a click — a failed write is
+// not reported as written — and any error after the output file is
+// created removes the partial file so a failed gen never leaves a
+// truncated log behind.
+func generate(o genOptions) (count uint64, err error) {
+	if o.format != "tsv" && o.format != "seg" {
+		return 0, fmt.Errorf("unknown -format %q (tsv, seg)", o.format)
+	}
+	cat, err := catalogFor(o.site, o.n, o.seed)
+	if err != nil {
+		return 0, err
+	}
+	f, err := os.Create(o.out)
+	if err != nil {
+		return 0, fmt.Errorf("create %s: %w", o.out, err)
+	}
+	committed := false
+	defer func() {
+		if !committed {
+			f.Close()
+			if rmErr := os.Remove(o.out); rmErr == nil && err != nil {
+				err = fmt.Errorf("%w (partial %s removed)", err, o.out)
+			}
+		}
+	}()
+	cfg := demand.SimConfig{Events: o.events, Cookies: o.cookies, Seed: o.seed ^ 0x51b}
+	p := demand.PipelineConfig{Generators: o.gen}
+	switch o.format {
+	case "tsv":
+		w := logs.NewWriter(f)
+		if err := demand.GenerateOrdered(cat, cfg, p, func(c logs.Click) error {
+			if o.failAfter > 0 && count >= o.failAfter {
+				return errGenFailAfter
+			}
+			if err := w.Write(c); err != nil {
+				return err
+			}
+			count++
+			return nil
+		}); err != nil {
+			return count, err
+		}
+		if err := w.Flush(); err != nil {
+			return count, err
+		}
+	case "seg":
+		sw := seg.NewWriter(f, o.segRows)
+		if err := demand.GenerateOrderedRefs(cat, cfg, p, func(r demand.ClickRef) error {
+			if o.failAfter > 0 && count >= o.failAfter {
+				return errGenFailAfter
+			}
+			if err := sw.Add(r); err != nil {
+				return err
+			}
+			count++
+			return nil
+		}); err != nil {
+			return count, err
+		}
+		if err := sw.Close(); err != nil {
+			return count, err
+		}
+	}
+	if err := f.Close(); err != nil {
+		return count, fmt.Errorf("close %s: %w", o.out, err)
+	}
+	committed = true
+	return count, nil
+}
+
 func runGen(args []string) error {
 	fs := flag.NewFlagSet("gen", flag.ExitOnError)
-	site := fs.String("site", "yelp", "site: amazon, yelp, imdb")
-	n := fs.Int("n", 5000, "catalog size")
-	events := fs.Int("events", 0, "clicks per source (0: 40x catalog)")
-	cookies := fs.Int("cookies", 0, "cookie population (0: 8x catalog)")
-	seed := fs.Uint64("seed", 1, "seed")
-	gen := fs.Int("gen", 0, "generator workers (0: all cores)")
-	out := fs.String("out", "clicks.tsv", "output log path")
+	o := genOptions{}
+	fs.StringVar(&o.site, "site", "yelp", "site: amazon, yelp, imdb")
+	fs.IntVar(&o.n, "n", 5000, "catalog size")
+	fs.IntVar(&o.events, "events", 0, "clicks per source (0: 40x catalog)")
+	fs.IntVar(&o.cookies, "cookies", 0, "cookie population (0: 8x catalog)")
+	fs.Uint64Var(&o.seed, "seed", 1, "seed")
+	fs.IntVar(&o.gen, "gen", 0, "generator workers (0: all cores)")
+	fs.StringVar(&o.out, "out", "clicks.tsv", "output log path")
+	fs.StringVar(&o.format, "format", "tsv", "output format: tsv (wire log) or seg (columnar segments)")
+	fs.IntVar(&o.segRows, "segrows", 0, "refs per segment for -format seg (0: default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cat, err := catalogFor(*site, *n, *seed)
+	count, err := generate(o)
 	if err != nil {
 		return err
 	}
-	f, err := os.Create(*out)
+	fmt.Printf("wrote %d clicks for %s (catalog %d entities) to %s (%s)\n",
+		count, o.site, o.n, o.out, o.format)
+	return nil
+}
+
+// aggOptions parameterizes one replay — the flag-free form the CLI
+// test drives directly.
+type aggOptions struct {
+	site     string
+	n        int
+	seed     uint64
+	shards   int
+	in       string
+	format   string // auto | tsv | seg
+	cookies  int    // cookie-population hint, 0 = none
+	strict   bool   // abort on first malformed TSV line
+	src      string // "" | search | browse
+	days     string // "" | "lo:hi" inclusive
+	entities string // "" | "lo:hi" inclusive
+}
+
+// aggResult carries the aggregates plus the replay accounting the
+// summary prints: parsed vs dropped vs malformed for TSV, zone-map
+// scan/skip counts for segments.
+type aggResult struct {
+	sa        *demand.ShardedAggregator
+	format    string
+	parsed    uint64 // TSV lines parsed as clicks
+	resolved  uint64 // clicks resolved to catalog entities and folded
+	dropped   uint64 // clicks dropped: non-entity URL / foreign site
+	malformed uint64 // TSV lines skipped as malformed
+	segStats  seg.ReplayStats
+}
+
+// parseRange parses an inclusive "lo:hi" bound.
+func parseRange(s string) (lo, hi int64, err error) {
+	a, b, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("range %q: want lo:hi", s)
+	}
+	if lo, err = strconv.ParseInt(a, 10, 64); err != nil {
+		return 0, 0, fmt.Errorf("range %q: %w", s, err)
+	}
+	if hi, err = strconv.ParseInt(b, 10, 64); err != nil {
+		return 0, 0, fmt.Errorf("range %q: %w", s, err)
+	}
+	if hi < lo {
+		return 0, 0, fmt.Errorf("range %q: hi < lo", s)
+	}
+	return lo, hi, nil
+}
+
+// predicateFor builds the segment pushdown predicate from the option
+// strings; hasPred reports whether any narrowing flag was set.
+func predicateFor(o aggOptions) (p seg.Predicate, hasPred bool, err error) {
+	p = seg.All()
+	if o.src != "" {
+		si, ok := demand.SourceIndex(logs.Source(o.src))
+		if !ok {
+			return p, false, fmt.Errorf("unknown -src %q (search, browse)", o.src)
+		}
+		p = p.WithSrc(si)
+		hasPred = true
+	}
+	if o.days != "" {
+		lo, hi, err := parseRange(o.days)
+		if err != nil {
+			return p, false, fmt.Errorf("-days %w", err)
+		}
+		p = p.WithDays(int16(lo), int16(hi))
+		hasPred = true
+	}
+	if o.entities != "" {
+		lo, hi, err := parseRange(o.entities)
+		if err != nil {
+			return p, false, fmt.Errorf("-entities %w", err)
+		}
+		p = p.WithEntities(int32(lo), int32(hi))
+		hasPred = true
+	}
+	return p, hasPred, nil
+}
+
+// sniffFormat resolves format "auto" by the file's leading magic.
+func sniffFormat(path string) (string, error) {
+	f, err := os.Open(path)
 	if err != nil {
-		return fmt.Errorf("create %s: %w", *out, err)
+		return "", fmt.Errorf("open %s: %w", path, err)
 	}
 	defer f.Close()
-	w := logs.NewWriter(f)
-	count := 0
-	err = demand.GenerateOrdered(cat, demand.SimConfig{
-		Events: *events, Cookies: *cookies, Seed: *seed ^ 0x51b,
-	}, demand.PipelineConfig{Generators: *gen}, func(c logs.Click) error {
-		count++
-		return w.Write(c)
-	})
+	magic := make([]byte, len(seg.HeaderMagic()))
+	if n, _ := io.ReadFull(f, magic); n == len(magic) && string(magic) == string(seg.HeaderMagic()) {
+		return "seg", nil
+	}
+	return "tsv", nil
+}
+
+// aggregate replays o.in into a fresh sharded aggregator.
+func aggregate(o aggOptions) (*aggResult, error) {
+	if o.shards <= 0 {
+		o.shards = runtime.GOMAXPROCS(0)
+	}
+	format := o.format
+	if format == "" || format == "auto" {
+		var err error
+		if format, err = sniffFormat(o.in); err != nil {
+			return nil, err
+		}
+	}
+	pred, hasPred, err := predicateFor(o)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	if err := w.Flush(); err != nil {
-		return err
+	cat, err := catalogFor(o.site, o.n, o.seed)
+	if err != nil {
+		return nil, err
 	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("close %s: %w", *out, err)
+	sa := demand.NewShardedAggregator(cat, o.shards)
+	if o.cookies > 0 {
+		sa.SetCookieHint(o.cookies)
 	}
-	fmt.Printf("wrote %d clicks for %s (catalog %d entities) to %s\n", count, *site, *n, *out)
-	return nil
+	res := &aggResult{sa: sa, format: format}
+
+	switch format {
+	case "seg":
+		r, err := seg.OpenFile(o.in)
+		if err != nil {
+			return nil, err
+		}
+		defer r.Close()
+		emit, done := sa.FeedRefs()
+		st, err := r.Replay(pred, emit)
+		done()
+		if err != nil {
+			return nil, err
+		}
+		res.segStats = st
+		res.parsed = st.Rows
+		res.resolved = st.Matched
+		return res, nil
+	case "tsv":
+		if hasPred {
+			return nil, fmt.Errorf("pushdown flags (-src, -days, -entities) need a segment input; %s is tsv", o.in)
+		}
+		f, err := os.Open(o.in)
+		if err != nil {
+			return nil, fmt.Errorf("open %s: %w", o.in, err)
+		}
+		defer f.Close()
+		emit, done := sa.Feed()
+		r := logs.NewReader(f)
+		for {
+			c, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if errors.Is(err, logs.ErrMalformed) {
+				if o.strict {
+					done()
+					return nil, err
+				}
+				res.malformed++
+				continue
+			}
+			if err != nil {
+				done()
+				return nil, err
+			}
+			res.parsed++
+			emit(c)
+		}
+		done()
+		res.resolved, res.dropped = sa.FeedStats()
+		return res, nil
+	default:
+		return nil, fmt.Errorf("unknown -format %q (auto, tsv, seg)", o.format)
+	}
 }
 
 func runAgg(args []string) error {
 	fs := flag.NewFlagSet("agg", flag.ExitOnError)
-	site := fs.String("site", "yelp", "site: amazon, yelp, imdb")
-	n := fs.Int("n", 5000, "catalog size (must match gen)")
-	seed := fs.Uint64("seed", 1, "seed (must match gen)")
-	shards := fs.Int("shards", 0, "aggregation shard workers (0: all cores)")
-	in := fs.String("in", "clicks.tsv", "input log path")
+	o := aggOptions{}
+	fs.StringVar(&o.site, "site", "yelp", "site: amazon, yelp, imdb")
+	fs.IntVar(&o.n, "n", 5000, "catalog size (must match gen)")
+	fs.Uint64Var(&o.seed, "seed", 1, "seed (must match gen)")
+	fs.IntVar(&o.shards, "shards", 0, "aggregation shard workers (0: all cores)")
+	fs.StringVar(&o.in, "in", "clicks.tsv", "input log path")
+	fs.StringVar(&o.format, "format", "auto", "input format: auto (sniff magic), tsv, seg")
+	fs.IntVar(&o.cookies, "cookies", 0, "known cookie population hint (0: none) — enables bitmap distinct counting")
+	fs.BoolVar(&o.strict, "strict", false, "abort on the first malformed line instead of skipping it")
+	fs.StringVar(&o.src, "src", "", "segment pushdown: keep one source (search or browse)")
+	fs.StringVar(&o.days, "days", "", "segment pushdown: keep days lo:hi (inclusive)")
+	fs.StringVar(&o.entities, "entities", "", "segment pushdown: keep entity indexes lo:hi (inclusive)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *shards <= 0 {
-		*shards = runtime.GOMAXPROCS(0)
-	}
-	cat, err := catalogFor(*site, *n, *seed)
+	res, err := aggregate(o)
 	if err != nil {
 		return err
 	}
-	f, err := os.Open(*in)
-	if err != nil {
-		return fmt.Errorf("open %s: %w", *in, err)
+	switch res.format {
+	case "seg":
+		st := res.segStats
+		fmt.Printf("replayed %s (seg): %d refs folded of %d decoded; %d/%d segments scanned, %d skipped by zone maps; %d shards\n\n",
+			o.in, res.resolved, st.Rows, st.Segments-st.Skipped, st.Segments, st.Skipped, res.sa.Shards())
+	default:
+		fmt.Printf("replayed %s (tsv): %d clicks parsed — %d aggregated, %d dropped (non-entity), %d malformed lines skipped; %d shards\n\n",
+			o.in, res.parsed, res.resolved, res.dropped, res.malformed, res.sa.Shards())
 	}
-	defer f.Close()
-	agg := demand.NewShardedAggregator(cat, *shards)
-	emit, done := agg.Feed()
-	r := logs.NewReader(f)
-	lines := 0
-	for {
-		c, err := r.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			done()
-			return err
-		}
-		lines++
-		emit(c)
-	}
-	done()
-	fmt.Printf("aggregated %d clicks from %s across %d shards\n\n", lines, *in, agg.Shards())
 	for _, src := range []logs.Source{logs.Search, logs.Browse} {
-		vec := demand.UniqueVector(agg.Demand(src))
+		vec := demand.UniqueVector(res.sa.Demand(src))
 		top20 := demand.TopShare(vec, 0.2)
 		gini := stats.Gini(vec)
 		line := fmt.Sprintf("%s: top-20%% share %.1f%%, gini %.2f", src, 100*top20, gini)

@@ -186,17 +186,16 @@ func GeneratePipeline(cat *Catalog, cfg SimConfig, p PipelineConfig) (*ShardedAg
 	return sa, nil
 }
 
-// GenerateOrdered simulates the click streams for cat with parallel
-// per-window generator workers but delivers them to emit from a single
-// goroutine in canonical stream order — exactly the sequence Simulate
-// produces — for consumers that need an ordered stream (log files,
-// canonical hashing). This is a serialization boundary: workers
-// materialize each window to wire clicks (the only allocation on the
-// path) before the reorder buffer holds windows that finish ahead of
-// their turn; its size is bounded by the workers' window skew. An emit
-// error stops generation promptly and is returned. p.Shards is unused
-// here; Tap fires as in GeneratePipeline.
-func GenerateOrdered(cat *Catalog, cfg SimConfig, p PipelineConfig, emit func(logs.Click) error) error {
+// GenerateOrderedRefs simulates the click streams for cat with
+// parallel per-window generator workers but delivers the refs to emit
+// from a single goroutine in canonical stream order — exactly the
+// sequence SimulateRefs produces — for consumers that need an ordered
+// stream (segment stores, log files, canonical hashing). A reorder
+// buffer holds windows that finish ahead of their turn; its size is
+// bounded by the workers' window skew. An emit error stops generation
+// promptly and is returned. p.Shards is unused here; Tap fires as in
+// GeneratePipeline.
+func GenerateOrderedRefs(cat *Catalog, cfg SimConfig, p PipelineConfig, emit func(ClickRef) error) error {
 	if len(cat.Entities) == 0 {
 		return fmt.Errorf("demand: empty catalog")
 	}
@@ -204,8 +203,8 @@ func GenerateOrdered(cat *Catalog, cfg SimConfig, p PipelineConfig, emit func(lo
 	p = p.withDefaults()
 
 	type seqBatch struct {
-		seq    int
-		clicks []logs.Click
+		seq  int
+		refs []ClickRef
 	}
 	out := make(chan seqBatch, p.Generators)
 	var stop atomic.Bool
@@ -215,11 +214,11 @@ func GenerateOrdered(cat *Catalog, cfg SimConfig, p PipelineConfig, emit func(lo
 	go func() {
 		defer consumer.Done()
 		next := 0
-		held := make(map[int][]logs.Click)
+		held := make(map[int][]ClickRef)
 		for b := range out {
-			held[b.seq] = b.clicks
+			held[b.seq] = b.refs
 			for {
-				clicks, ok := held[next]
+				refs, ok := held[next]
 				if !ok {
 					break
 				}
@@ -228,8 +227,8 @@ func GenerateOrdered(cat *Catalog, cfg SimConfig, p PipelineConfig, emit func(lo
 				if emitErr != nil {
 					continue // drain without emitting
 				}
-				for _, c := range clicks {
-					if err := emit(c); err != nil {
+				for _, r := range refs {
+					if err := emit(r); err != nil {
 						emitErr = fmt.Errorf("demand: emit click: %w", err)
 						stop.Store(true)
 						break
@@ -240,12 +239,12 @@ func GenerateOrdered(cat *Catalog, cfg SimConfig, p PipelineConfig, emit func(lo
 	}()
 	err := runGenerators(cat, cfg, p, &stop, func() (func(genWindow, func(func(ClickRef) bool)), func()) {
 		handle := func(gw genWindow, gen func(emit func(ClickRef) bool)) {
-			clicks := make([]logs.Click, 0, gw.hi-gw.lo)
+			refs := make([]ClickRef, 0, gw.hi-gw.lo)
 			gen(func(r ClickRef) bool {
-				clicks = append(clicks, r.Click(cat))
+				refs = append(refs, r)
 				return true
 			})
-			out <- seqBatch{seq: gw.seq, clicks: clicks}
+			out <- seqBatch{seq: gw.seq, refs: refs}
 		}
 		return handle, func() {}
 	})
@@ -255,4 +254,15 @@ func GenerateOrdered(cat *Catalog, cfg SimConfig, p PipelineConfig, emit func(lo
 		return err
 	}
 	return emitErr
+}
+
+// GenerateOrdered is GenerateOrderedRefs materialized to the wire
+// representation at the delivery boundary — the form file consumers
+// (TSV logs, canonical hashing) take. Materializing on the ordered
+// consumer goroutine is free of allocation: a wire click borrows the
+// catalog's canonical URL string.
+func GenerateOrdered(cat *Catalog, cfg SimConfig, p PipelineConfig, emit func(logs.Click) error) error {
+	return GenerateOrderedRefs(cat, cfg, p, func(r ClickRef) error {
+		return emit(r.Click(cat))
+	})
 }

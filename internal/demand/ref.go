@@ -39,6 +39,17 @@ func srcIdx(s logs.Source) int {
 	return -1
 }
 
+// SourceIndex maps a wire source to its ClickRef.Src value (the
+// position in the canonical source order), false for unknown sources —
+// the exported face of srcIdx for consumers building segment-store
+// pushdown predicates.
+func SourceIndex(s logs.Source) (uint8, bool) {
+	if i := srcIdx(s); i >= 0 {
+		return uint8(i), true
+	}
+	return 0, false
+}
+
 // Click materializes the wire representation of r against its catalog.
 // The URL is the catalog's canonical entity URL — the exact string
 // Simulate emits — so materialized streams are byte-identical to the

@@ -4,6 +4,7 @@ import (
 	"math/bits"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/logs"
 )
@@ -27,6 +28,13 @@ type ShardedAggregator struct {
 	n      int  // catalog entity count
 	shift  uint // log2(shards) when shards is a power of two
 	pow2   bool
+
+	// Feed replay accounting (see FeedStats): resolver workers count
+	// wire clicks that resolved to a catalog entity versus dropped
+	// (foreign site, non-entity URL, unknown source), batched into
+	// these atomics once per input batch.
+	feedResolved atomic.Uint64
+	feedDropped  atomic.Uint64
 }
 
 // NewShardedAggregator returns an aggregator with `shards` partitions
@@ -136,7 +144,8 @@ const feedBatchSize = 1024
 // freeList recycles spent ref batches from shard workers back to
 // routers, so steady-state routing allocates nothing: the working set
 // is a fixed pool of batches cycling through the pipeline instead of a
-// fresh slice per 512 events that the shard immediately drops. get
+// fresh slice per feedBatchSize events that the shard immediately
+// drops. get
 // falls back to allocating and put to dropping when the pool runs dry
 // or full, so it is never a synchronization point.
 type freeList struct {
@@ -283,11 +292,17 @@ func (sa *ShardedAggregator) Feed() (emit func(logs.Click), done func()) {
 			defer rwg.Done()
 			r := sa.newRouter(chans, free)
 			for batch := range in {
+				resolved, dropped := uint64(0), uint64(0)
 				for _, c := range batch {
 					if ref, ok := sa.refOf(c); ok {
 						r.emit(ref)
+						resolved++
+					} else {
+						dropped++
 					}
 				}
+				sa.feedResolved.Add(resolved)
+				sa.feedDropped.Add(dropped)
 			}
 			r.flush()
 		}()
@@ -306,6 +321,45 @@ func (sa *ShardedAggregator) Feed() (emit func(logs.Click), done func()) {
 		}
 		close(in)
 		rwg.Wait()
+		for i := range chans {
+			close(chans[i])
+		}
+		wait()
+	}
+	return emit, done
+}
+
+// FeedStats reports the cumulative wire-click resolution outcome of
+// Feed replays on this aggregator: clicks that resolved to a catalog
+// entity and were folded, and clicks dropped (foreign site, non-entity
+// URL, unknown source). Read it after the corresponding done() — the
+// counters are updated per batch by concurrent resolver workers.
+func (sa *ShardedAggregator) FeedStats() (resolved, dropped uint64) {
+	return sa.feedResolved.Load(), sa.feedDropped.Load()
+}
+
+// FeedRefs is Feed for callers that already hold the internal
+// representation — segment-store replay above all: it starts the shard
+// workers and returns an emit that routes whole batches of
+// global-entity ClickRefs straight to them, bypassing the wire-click
+// resolver pool entirely (no URL is parsed, hashed, or even present).
+// Refs with out-of-range entities drop at the shard fold exactly as
+// AddRef drops them. emit is for a SINGLE producer goroutine (routing
+// is just localize + append, far off the replay critical path); the
+// batch slice is only read during the call and never retained, so
+// callers may reuse it — seg.Reader.Replay's reused decode batch plugs
+// in directly. done flushes pending batches and joins the workers;
+// results are ready after it returns.
+func (sa *ShardedAggregator) FeedRefs() (emit func(batch []ClickRef), done func()) {
+	chans, free, wait := sa.startWorkers(8)
+	r := sa.newRouter(chans, free)
+	emit = func(batch []ClickRef) {
+		for _, ref := range batch {
+			r.emit(ref)
+		}
+	}
+	done = func() {
+		r.flush()
 		for i := range chans {
 			close(chans[i])
 		}

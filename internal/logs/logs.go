@@ -6,12 +6,20 @@ package logs
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"regexp"
 	"strconv"
 	"strings"
 )
+
+// ErrMalformed tags line-level parse failures from Reader.Next: the
+// offending line was fully consumed, so the reader is still positioned
+// to continue and a replayer may skip the line (errors.Is) instead of
+// aborting the whole log. I/O and scanner failures are NOT tagged —
+// after those the stream is unrecoverable.
+var ErrMalformed = errors.New("malformed click line")
 
 // Source labels which traffic stream a click came from.
 type Source string
@@ -246,19 +254,19 @@ func (r *Reader) Next() (Click, error) {
 		}
 		parts := strings.SplitN(line, "\t", 4)
 		if len(parts) != 4 {
-			return Click{}, fmt.Errorf("logs: line %d has %d fields", r.line, len(parts))
+			return Click{}, fmt.Errorf("logs: line %d has %d fields: %w", r.line, len(parts), ErrMalformed)
 		}
 		src := Source(parts[0])
 		if !src.Valid() {
-			return Click{}, fmt.Errorf("logs: line %d bad source %q", r.line, parts[0])
+			return Click{}, fmt.Errorf("logs: line %d bad source %q: %w", r.line, parts[0], ErrMalformed)
 		}
 		cookie, err := strconv.ParseUint(parts[1], 10, 64)
 		if err != nil {
-			return Click{}, fmt.Errorf("logs: line %d cookie: %w", r.line, err)
+			return Click{}, fmt.Errorf("logs: line %d cookie %q: %w", r.line, parts[1], ErrMalformed)
 		}
 		day, err := strconv.Atoi(parts[2])
 		if err != nil {
-			return Click{}, fmt.Errorf("logs: line %d day: %w", r.line, err)
+			return Click{}, fmt.Errorf("logs: line %d day %q: %w", r.line, parts[2], ErrMalformed)
 		}
 		return Click{Source: src, Cookie: cookie, Day: day, URL: parts[3]}, nil
 	}

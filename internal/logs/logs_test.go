@@ -2,6 +2,7 @@ package logs
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"strings"
 	"testing"
@@ -187,7 +188,33 @@ func TestReaderErrors(t *testing.T) {
 		r := NewReader(strings.NewReader(c))
 		if _, err := r.Next(); err == nil || err == io.EOF {
 			t.Errorf("input %q should fail, got %v", c, err)
+		} else if !errors.Is(err, ErrMalformed) {
+			t.Errorf("input %q: error %v should wrap ErrMalformed", c, err)
 		}
+	}
+}
+
+// TestReaderContinuesPastMalformedLine pins the skip contract behind
+// ErrMalformed: the bad line is consumed, so the caller can keep
+// reading and recover every well-formed click after it.
+func TestReaderContinuesPastMalformedLine(t *testing.T) {
+	r := NewReader(strings.NewReader(
+		"search\t1\t2\thttp://x\n" +
+			"garbage line\n" +
+			"browse\t9\t3\thttp://y\n"))
+	c, err := r.Next()
+	if err != nil || c.Cookie != 1 {
+		t.Fatalf("first click: %+v %v", c, err)
+	}
+	if _, err := r.Next(); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("second line should be malformed, got %v", err)
+	}
+	c, err = r.Next()
+	if err != nil || c.Cookie != 9 {
+		t.Fatalf("third click after skip: %+v %v", c, err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
 	}
 }
 

@@ -1,0 +1,82 @@
+package seg
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/demand"
+)
+
+// FuzzSegmentRoundTrip drives both halves of the format's totality
+// contract from one corpus:
+//
+//  1. Interpreted as a packed ClickRef batch, the input must encode and
+//     replay back bit-exactly, whatever the field values, for several
+//     segment granularities.
+//  2. Interpreted as a raw file image, the input must be either
+//     rejected cleanly (open or replay error) or decoded without
+//     panicking — the truncated/corrupt-footer robustness the CLI
+//     relies on.
+func FuzzSegmentRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("CSEGv1\r\nCSEGend\n"))
+	f.Add(bytes.Repeat([]byte{0xa5}, 64))
+	var seed bytes.Buffer
+	w := NewWriter(&seed, 4)
+	for i := 0; i < 10; i++ {
+		w.Add(demand.ClickRef{Cookie: uint64(i) << 40, Entity: int32(i - 5), Day: int16(i * 100), Src: uint8(i % 3)})
+	}
+	w.Close()
+	f.Add(seed.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Half 1: data as a ref batch (16 bytes per ref).
+		refs := make([]demand.ClickRef, 0, len(data)/16)
+		for i := 0; i+16 <= len(data); i += 16 {
+			refs = append(refs, demand.ClickRef{
+				Cookie: binary.LittleEndian.Uint64(data[i:]),
+				Entity: int32(binary.LittleEndian.Uint32(data[i+8:])),
+				Day:    int16(binary.LittleEndian.Uint16(data[i+12:])),
+				Src:    data[i+14],
+			})
+		}
+		for _, segRows := range []int{1, 3, 64} {
+			var buf bytes.Buffer
+			w := NewWriter(&buf, segRows)
+			for _, r := range refs {
+				if err := w.Add(r); err != nil {
+					t.Fatalf("Add: %v", err)
+				}
+			}
+			if err := w.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			r, err := NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+			if err != nil {
+				t.Fatalf("segRows=%d: reopen own output: %v", segRows, err)
+			}
+			got := make([]demand.ClickRef, 0, len(refs))
+			stats, err := r.Replay(All(), func(b []demand.ClickRef) {
+				got = append(got, b...)
+			})
+			if err != nil {
+				t.Fatalf("segRows=%d: replay own output: %v", segRows, err)
+			}
+			if len(got) != len(refs) || stats.Matched != uint64(len(refs)) {
+				t.Fatalf("segRows=%d: %d refs out (%d matched), want %d", segRows, len(got), stats.Matched, len(refs))
+			}
+			for i := range refs {
+				if got[i] != refs[i] {
+					t.Fatalf("segRows=%d: ref %d = %+v, want %+v", segRows, i, got[i], refs[i])
+				}
+			}
+		}
+
+		// Half 2: data as a hostile file image — errors are fine,
+		// panics and hangs are not.
+		if r, err := NewReader(bytes.NewReader(data), int64(len(data))); err == nil {
+			_, _ = r.Replay(All(), func([]demand.ClickRef) {})
+		}
+	})
+}

@@ -1,0 +1,371 @@
+package seg
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/demand"
+	"repro/internal/dist"
+)
+
+// randomRefs builds n deterministic pseudo-random refs spanning the
+// full field ranges the format must round-trip, negative values
+// included.
+func randomRefs(seed uint64, n int) []demand.ClickRef {
+	rng := dist.NewRNG(seed)
+	refs := make([]demand.ClickRef, n)
+	for i := range refs {
+		refs[i] = demand.ClickRef{
+			Cookie: rng.Uint64() >> uint(rng.Intn(64)),
+			Entity: int32(rng.Uint64()),
+			Day:    int16(rng.Uint64()),
+			Src:    uint8(rng.Intn(4)),
+		}
+	}
+	return refs
+}
+
+// writeRefs encodes refs into an in-memory segment file.
+func writeRefs(t *testing.T, refs []demand.ClickRef, segmentRows int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf, segmentRows)
+	for _, r := range refs {
+		if err := w.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := w.Rows(); got != uint64(len(refs)) {
+		t.Fatalf("Rows() = %d, want %d", got, len(refs))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// replayAll decodes every ref of an encoded file in order.
+func replayAll(t *testing.T, file []byte, p Predicate) ([]demand.ClickRef, ReplayStats) {
+	t.Helper()
+	r, err := NewReader(bytes.NewReader(file), int64(len(file)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []demand.ClickRef
+	stats, err := r.Replay(p, func(batch []demand.ClickRef) {
+		out = append(out, batch...)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, stats
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 1000} {
+		refs := randomRefs(uint64(n)+1, n)
+		file := writeRefs(t, refs, 64)
+		got, stats := replayAll(t, file, All())
+		if len(got) != len(refs) {
+			t.Fatalf("n=%d: replayed %d refs, want %d", n, len(got), len(refs))
+		}
+		for i := range refs {
+			if got[i] != refs[i] {
+				t.Fatalf("n=%d: ref %d = %+v, want %+v", n, i, got[i], refs[i])
+			}
+		}
+		wantSegs := (n + 63) / 64
+		if stats.Segments != wantSegs || stats.Skipped != 0 ||
+			stats.Rows != uint64(n) || stats.Matched != uint64(n) {
+			t.Fatalf("n=%d: stats = %+v, want %d segments all scanned", n, stats, wantSegs)
+		}
+	}
+}
+
+func TestOpenFileRoundTrip(t *testing.T) {
+	refs := randomRefs(7, 500)
+	path := filepath.Join(t.TempDir(), "clicks.seg")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(f, 128)
+	for _, r := range refs {
+		if err := w.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Segments() != 4 || r.Rows() != 500 {
+		t.Fatalf("Segments=%d Rows=%d, want 4/500", r.Segments(), r.Rows())
+	}
+	var got []demand.ClickRef
+	if _, err := r.Replay(All(), func(b []demand.ClickRef) {
+		got = append(got, b...)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range refs {
+		if got[i] != refs[i] {
+			t.Fatalf("ref %d = %+v, want %+v", i, got[i], refs[i])
+		}
+	}
+}
+
+// TestZoneMapSkip pins the pushdown contract: replaying a clustered
+// log with a narrowing predicate skips the non-matching segments via
+// zone maps alone and still delivers exactly the matching rows.
+func TestZoneMapSkip(t *testing.T) {
+	// Source-clustered, like every canonical stream: 256 search rows
+	// then 256 browse rows, 64-row segments.
+	var refs []demand.ClickRef
+	for i := 0; i < 512; i++ {
+		src := uint8(0)
+		if i >= 256 {
+			src = 1
+		}
+		// Days deliberately unclustered (a 97-stride cycle spreads every
+		// segment's day zone over most of the year) so the day-filter
+		// case below exercises row filtering without zone-map help.
+		refs = append(refs, demand.ClickRef{
+			Cookie: uint64(i + 1), Entity: int32(i), Day: int16(i * 97 % 365), Src: src,
+		})
+	}
+	file := writeRefs(t, refs, 64)
+
+	got, stats := replayAll(t, file, All().WithSrc(1))
+	if stats.Skipped != 4 {
+		t.Fatalf("source pushdown skipped %d segments, want 4 (stats %+v)", stats.Skipped, stats)
+	}
+	if len(got) != 256 {
+		t.Fatalf("source pushdown matched %d rows, want 256", len(got))
+	}
+	for i, r := range got {
+		if r != refs[256+i] {
+			t.Fatalf("row %d = %+v, want %+v", i, r, refs[256+i])
+		}
+	}
+
+	// Entity-clustered too (entities ascend with i): an entity range
+	// covering one segment's span skips the other seven.
+	got, stats = replayAll(t, file, All().WithEntities(128, 191))
+	if stats.Skipped != 7 || len(got) != 64 {
+		t.Fatalf("entity pushdown: skipped=%d matched=%d, want 7/64", stats.Skipped, len(got))
+	}
+
+	// Day predicate on day-unclustered data: nothing skippable, rows
+	// still filtered exactly.
+	got, stats = replayAll(t, file, All().WithDays(0, 9))
+	if stats.Skipped != 0 {
+		t.Fatalf("day filter on unclustered log skipped %d segments, want 0", stats.Skipped)
+	}
+	want := 0
+	for _, r := range refs {
+		if r.Day <= 9 {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("day filter matched %d rows, want %d", len(got), want)
+	}
+}
+
+// TestPredicateEmptyMatch: a predicate matching nothing still scans
+// zone-overlapping segments but delivers no batch.
+func TestPredicateEmptyMatch(t *testing.T) {
+	refs := randomRefs(3, 200)
+	file := writeRefs(t, refs, 64)
+	r, err := NewReader(bytes.NewReader(file), int64(len(file)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := r.Replay(All().WithSrc(9), func(b []demand.ClickRef) {
+		t.Fatalf("fold called with %d refs for an unmatchable predicate", len(b))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Matched != 0 {
+		t.Fatalf("matched %d, want 0", stats.Matched)
+	}
+}
+
+// TestCorruptionRejected flips every byte of a valid file in turn and
+// asserts the reader either rejects the file at open, fails the
+// replay, or — only when the flip misses every structure the replay
+// touches — returns the original rows. It must never panic.
+func TestCorruptionRejected(t *testing.T) {
+	refs := randomRefs(11, 300)
+	file := writeRefs(t, refs, 128)
+	want, _ := replayAll(t, file, All())
+	for i := range file {
+		mut := append([]byte(nil), file...)
+		mut[i] ^= 0x5a
+		r, err := NewReader(bytes.NewReader(mut), int64(len(mut)))
+		if err != nil {
+			continue // rejected at open: good
+		}
+		var got []demand.ClickRef
+		if _, err := r.Replay(All(), func(b []demand.ClickRef) {
+			got = append(got, b...)
+		}); err != nil {
+			continue // rejected at replay: good
+		}
+		// Replay succeeded: the flip must have been invisible (it
+		// wasn't — every byte is covered by a CRC — so this is a bug
+		// unless the decode round-tripped identically anyway).
+		if len(got) != len(want) {
+			t.Fatalf("flip at %d: silent corruption (%d rows, want %d)", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("flip at %d: silent corruption at row %d", i, j)
+			}
+		}
+	}
+}
+
+// TestTruncationRejected cuts the file at every length and asserts
+// clean rejection.
+func TestTruncationRejected(t *testing.T) {
+	refs := randomRefs(13, 300)
+	file := writeRefs(t, refs, 128)
+	for n := 0; n < len(file); n++ {
+		r, err := NewReader(bytes.NewReader(file[:n]), int64(n))
+		if err != nil {
+			continue
+		}
+		if _, err := r.Replay(All(), func([]demand.ClickRef) {}); err == nil {
+			t.Fatalf("truncation to %d of %d bytes accepted silently", n, len(file))
+		}
+	}
+}
+
+func TestWriterMisuse(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 16)
+	if err := w.Add(demand.ClickRef{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add(demand.ClickRef{}); err == nil {
+		t.Error("Add after Close should fail")
+	}
+	if err := w.Close(); err == nil {
+		t.Error("double Close should fail")
+	}
+}
+
+// errWriter fails after n bytes, for sticky-error coverage.
+type errWriter struct{ n int }
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.n <= 0 {
+		return 0, os.ErrClosed
+	}
+	if len(p) > e.n {
+		n := e.n
+		e.n = 0
+		return n, os.ErrClosed
+	}
+	e.n -= len(p)
+	return len(p), nil
+}
+
+func TestWriterStickyError(t *testing.T) {
+	w := NewWriter(&errWriter{n: 4}, 2)
+	var firstErr error
+	for i := 0; i < 100 && firstErr == nil; i++ {
+		firstErr = w.Add(demand.ClickRef{Cookie: uint64(i)})
+	}
+	if firstErr == nil {
+		t.Fatal("write into failing writer never errored")
+	}
+	if err := w.Close(); err == nil {
+		t.Error("Close after write error should return the sticky error")
+	}
+}
+
+func TestHeaderMagicSniff(t *testing.T) {
+	file := writeRefs(t, randomRefs(1, 10), 0)
+	if !bytes.HasPrefix(file, HeaderMagic()) {
+		t.Fatal("file does not start with HeaderMagic")
+	}
+	if len(HeaderMagic()) != 8 {
+		t.Fatalf("HeaderMagic length %d, want 8", len(HeaderMagic()))
+	}
+}
+
+// TestEmptyFile: a log with zero refs is still a valid file — header,
+// empty directory, trailer — and replays to nothing.
+func TestEmptyFile(t *testing.T) {
+	file := writeRefs(t, nil, 0)
+	r, err := NewReader(bytes.NewReader(file), int64(len(file)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close() // NewReader readers own no file; Close must be a no-op
+	if r.Segments() != 0 || r.Rows() != 0 {
+		t.Fatalf("empty file has %d segments, %d rows", r.Segments(), r.Rows())
+	}
+	stats, err := r.Replay(All(), func([]demand.ClickRef) {
+		t.Fatal("fold called on empty file")
+	})
+	if err != nil || stats != (ReplayStats{}) {
+		t.Fatalf("empty replay = %+v, %v", stats, err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close without closer: %v", err)
+	}
+}
+
+// TestOpenFileErrors: a missing path and a non-segment file both fail
+// cleanly.
+func TestOpenFileErrors(t *testing.T) {
+	if _, err := OpenFile(filepath.Join(t.TempDir(), "absent.seg")); err == nil {
+		t.Error("missing file should fail")
+	}
+	p := filepath.Join(t.TempDir(), "not-a-segfile")
+	if err := os.WriteFile(p, []byte("just some text, definitely not segments"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(p); err == nil {
+		t.Error("non-segment file should fail")
+	}
+}
+
+// TestZoneMapSkipByDay: a day-clustered log (days ascend with the
+// stream, as real logs do) prunes segments under a day-range predicate.
+func TestZoneMapSkipByDay(t *testing.T) {
+	refs := make([]demand.ClickRef, 512)
+	for i := range refs {
+		refs[i] = demand.ClickRef{Cookie: uint64(i), Entity: int32(i % 7), Day: int16(i / 2)}
+	}
+	file := writeRefs(t, refs, 64) // 8 segments of 32 consecutive days each
+	got, stats := replayAll(t, file, All().WithDays(96, 127))
+	if stats.Skipped != 7 {
+		t.Fatalf("day range covering one segment skipped %d of %d, want 7", stats.Skipped, stats.Segments)
+	}
+	if len(got) != 64 {
+		t.Fatalf("replayed %d refs, want the 64 in days [96,127]", len(got))
+	}
+	for _, r := range got {
+		if r.Day < 96 || r.Day > 127 {
+			t.Fatalf("ref outside day range: %+v", r)
+		}
+	}
+}

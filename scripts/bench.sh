@@ -3,7 +3,8 @@
 # machine-readable snapshot (BENCH_<PR>.json) of the performance
 # trajectory: extraction (streaming vs retained-DOM baseline), demand
 # generation (serial wire fold, serial ref fold — columnar batch and
-# scalar ablation — sharded, pipeline), and the serving layer.
+# scalar ablation — sharded, pipeline), the columnar segment store
+# (write / replay / pushdown-filtered replay), and the serving layer.
 # cmd/benchdiff compares two snapshots and gates CI on >20% ns/op
 # regressions; the demand rows also carry the aggregator's modelled
 # bytes/click (testing.B.ReportMetric in BenchmarkGenerate), recorded
@@ -22,7 +23,7 @@
 # Everything else runs once at $BENCHTIME.
 #
 # Usage:
-#   scripts/bench.sh                 # writes BENCH_6.json
+#   scripts/bench.sh                 # writes BENCH_<newest+1>.json
 #   BENCHTIME=5s OUT=/tmp/b.json scripts/bench.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -30,7 +31,15 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${BENCHTIME:-2x}"
 GENBENCHTIME="${GENBENCHTIME:-6x}"
 GENCOUNT="${GENCOUNT:-5}"
-PR="${PR:-6}"
+# Default PR number: one past the newest committed BENCH_<n>.json, so
+# the script never silently overwrites the previous PR's snapshot when
+# nobody remembers to bump a hardcoded default.
+if [ -z "${PR:-}" ]; then
+  files="$(git ls-files 'BENCH_*.json' 2>/dev/null || true)"
+  [ -n "$files" ] || files="$(ls BENCH_*.json 2>/dev/null || true)"
+  latest="$(printf '%s\n' "$files" | sed -n 's/^BENCH_\([0-9]\+\)\.json$/\1/p' | sort -n | tail -1)"
+  PR=$(( ${latest:-0} + 1 ))
+fi
 OUT="${OUT:-BENCH_${PR}.json}"
 
 raw="$(mktemp)"
@@ -39,7 +48,7 @@ trap 'rm -f "$raw"' EXIT
 go test -run '^$' \
   -bench 'BenchmarkExtractIndexes|BenchmarkEndToEndPipeline' \
   -benchmem -benchtime "$BENCHTIME" . | tee -a "$raw"
-go test -run '^$' -bench 'BenchmarkGenerate$' \
+go test -run '^$' -bench 'BenchmarkGenerate$|BenchmarkSegment' \
   -benchmem -benchtime "$GENBENCHTIME" -count "$GENCOUNT" . | tee -a "$raw"
 go test -run '^$' -bench 'BenchmarkServe' -benchmem -benchtime "$BENCHTIME" \
   ./internal/serve/ | tee -a "$raw"
@@ -59,6 +68,7 @@ awk -v benchtime="$BENCHTIME (demand rows: $GENBENCHTIME, median of $GENCOUNT ru
     if ($(i+1) == "allocs/op")   row = row sprintf(", \"allocs_per_op\": %s", $i)
     if ($(i+1) == "MB/s")        row = row sprintf(", \"mb_per_s\": %s", $i)
     if ($(i+1) == "bytes/click") row = row sprintf(", \"bytes_per_click\": %s", $i)
+    if ($(i+1) == "skippedsegs/op") row = row sprintf(", \"skipped_segs_per_op\": %s", $i)
   }
   if (ns == "") next
   if (!(name in count)) order[++names] = name
