@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/synth"
 )
@@ -48,8 +49,18 @@ func run() error {
 	workers := flag.Int("workers", 0, "worker pool size for artifact builds, analyses, extraction and demand shards (0: GOMAXPROCS)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file after the run")
+	trace := flag.String("trace", "", "write a Chrome trace-event JSON of pipeline/build/experiment spans to this file (load in chrome://tracing or Perfetto)")
 	flag.Usage = usage
 	flag.Parse()
+
+	if *trace != "" {
+		obs.EnableTracing(0)
+		defer func() {
+			if err := obs.WriteTraceFile(*trace); err != nil {
+				fmt.Fprintln(os.Stderr, "analyze: write trace:", err)
+			}
+		}()
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

@@ -49,20 +49,37 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 
 	"repro/internal/demand"
 	"repro/internal/logs"
+	"repro/internal/obs"
 	"repro/internal/seg"
 	"repro/internal/stats"
 )
+
+// traceTo enables span recording when path is non-empty and returns
+// the dump-at-exit func for the caller to defer.
+func traceTo(path string) func() {
+	if path == "" {
+		return func() {}
+	}
+	obs.EnableTracing(0)
+	return func() {
+		if err := obs.WriteTraceFile(path); err != nil {
+			fmt.Fprintln(os.Stderr, "clicklog: write trace:", err)
+		}
+	}
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -197,9 +214,11 @@ func runGen(args []string) error {
 	fs.StringVar(&o.out, "out", "clicks.tsv", "output log path")
 	fs.StringVar(&o.format, "format", "tsv", "output format: tsv (wire log) or seg (columnar segments)")
 	fs.IntVar(&o.segRows, "segrows", 0, "refs per segment for -format seg (0: default)")
+	trace := fs.String("trace", "", "write a Chrome trace-event JSON of pipeline spans to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	defer traceTo(*trace)()
 	count, err := generate(o)
 	if err != nil {
 		return err
@@ -383,6 +402,65 @@ func aggregate(o aggOptions) (*aggResult, error) {
 	}
 }
 
+// aggSummary is runAgg's machine-readable replay accounting: the
+// replay/feed stats plus the process-wide obs counters, so bench
+// scripts parse ONE line instead of scraping the human text. Emitted
+// as key=value pairs in text mode and as a JSON object behind -json.
+type aggSummary struct {
+	Format    string             `json:"format"`
+	Input     string             `json:"input"`
+	Shards    int                `json:"shards"`
+	Parsed    uint64             `json:"parsed"`
+	Resolved  uint64             `json:"resolved"`
+	Dropped   uint64             `json:"dropped"`
+	Malformed uint64             `json:"malformed"`
+	Replay    *seg.ReplayStats   `json:"replay,omitempty"` // segment inputs only
+	Obs       map[string]float64 `json:"obs"`
+	Demand    []demandSummary    `json:"demand"`
+}
+
+type demandSummary struct {
+	Source   string   `json:"source"`
+	Top20Pct float64  `json:"top20_share_pct"`
+	Gini     float64  `json:"gini"`
+	ZipfS    *float64 `json:"zipf_s,omitempty"`
+}
+
+// obsSnapshot flattens obs.Default into name→value, keeping only the
+// series this pipeline moves (demand_/seg_ prefixes) so the summary
+// stays readable.
+func obsSnapshot() map[string]float64 {
+	out := map[string]float64{}
+	for _, s := range obs.Default.Snapshot() {
+		if strings.HasPrefix(s.Name, "repro_demand_") || strings.HasPrefix(s.Name, "repro_seg_") {
+			out[s.Name] = s.Value
+		}
+	}
+	return out
+}
+
+// summaryLine renders the stable key=value form of the summary (one
+// line, fixed key order; obs keys sorted).
+func summaryLine(s aggSummary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "summary format=%s shards=%d parsed=%d resolved=%d dropped=%d malformed=%d",
+		s.Format, s.Shards, s.Parsed, s.Resolved, s.Dropped, s.Malformed)
+	if s.Replay != nil {
+		fmt.Fprintf(&b, " segments=%d skipped=%d rows=%d matched=%d",
+			s.Replay.Segments, s.Replay.Skipped, s.Replay.Rows, s.Replay.Matched)
+	}
+	keys := make([]string, 0, len(s.Obs))
+	for k := range s.Obs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%s", strings.TrimPrefix(k, "repro_"),
+			strconv.FormatFloat(s.Obs[k], 'g', -1, 64))
+	}
+	return b.String()
+}
+
 func runAgg(args []string) error {
 	fs := flag.NewFlagSet("agg", flag.ExitOnError)
 	o := aggOptions{}
@@ -397,12 +475,44 @@ func runAgg(args []string) error {
 	fs.StringVar(&o.src, "src", "", "segment pushdown: keep one source (search or browse)")
 	fs.StringVar(&o.days, "days", "", "segment pushdown: keep days lo:hi (inclusive)")
 	fs.StringVar(&o.entities, "entities", "", "segment pushdown: keep entity indexes lo:hi (inclusive)")
+	jsonOut := fs.Bool("json", false, "emit the structured summary as one JSON object instead of text")
+	trace := fs.String("trace", "", "write a Chrome trace-event JSON of replay spans to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	defer traceTo(*trace)()
 	res, err := aggregate(o)
 	if err != nil {
 		return err
+	}
+	sum := aggSummary{
+		Format:    res.format,
+		Input:     o.in,
+		Shards:    res.sa.Shards(),
+		Parsed:    res.parsed,
+		Resolved:  res.resolved,
+		Dropped:   res.dropped,
+		Malformed: res.malformed,
+		Obs:       obsSnapshot(),
+	}
+	if res.format == "seg" {
+		st := res.segStats
+		sum.Replay = &st
+	}
+	for _, src := range []logs.Source{logs.Search, logs.Browse} {
+		vec := demand.UniqueVector(res.sa.Demand(src))
+		d := demandSummary{
+			Source:   string(src),
+			Top20Pct: 100 * demand.TopShare(vec, 0.2),
+			Gini:     stats.Gini(vec),
+		}
+		if s, err := stats.ZipfExponentFromRanks(vec, 500); err == nil {
+			d.ZipfS = &s
+		}
+		sum.Demand = append(sum.Demand, d)
+	}
+	if *jsonOut {
+		return json.NewEncoder(os.Stdout).Encode(sum)
 	}
 	switch res.format {
 	case "seg":
@@ -413,15 +523,14 @@ func runAgg(args []string) error {
 		fmt.Printf("replayed %s (tsv): %d clicks parsed — %d aggregated, %d dropped (non-entity), %d malformed lines skipped; %d shards\n\n",
 			o.in, res.parsed, res.resolved, res.dropped, res.malformed, res.sa.Shards())
 	}
-	for _, src := range []logs.Source{logs.Search, logs.Browse} {
-		vec := demand.UniqueVector(res.sa.Demand(src))
-		top20 := demand.TopShare(vec, 0.2)
-		gini := stats.Gini(vec)
-		line := fmt.Sprintf("%s: top-20%% share %.1f%%, gini %.2f", src, 100*top20, gini)
-		if s, err := stats.ZipfExponentFromRanks(vec, 500); err == nil {
-			line += fmt.Sprintf(", fitted zipf s=%.2f", s)
+	for _, d := range sum.Demand {
+		line := fmt.Sprintf("%s: top-20%% share %.1f%%, gini %.2f", d.Source, d.Top20Pct, d.Gini)
+		if d.ZipfS != nil {
+			line += fmt.Sprintf(", fitted zipf s=%.2f", *d.ZipfS)
 		}
 		fmt.Println(line)
 	}
+	fmt.Println()
+	fmt.Println(summaryLine(sum))
 	return nil
 }

@@ -13,19 +13,30 @@
 // 304 hot path. Compare against a cold run (fresh server, -conditional
 // =false, distinct -seed) to see the cache's effect; BenchmarkServe in
 // internal/serve records the same cold-vs-warm ratio in-process.
+//
+// Latencies aggregate into an obs.Histogram as they happen — clients
+// write concurrently to one fixed-footprint log2 histogram instead of
+// retaining every sample, so memory is constant at any -n or
+// -duration. Quantiles are therefore bucket estimates (within 2x; the
+// max is exact); the mean is exact. -json emits the same numbers as
+// one machine-readable object for scripted runs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func main() {
@@ -35,10 +46,19 @@ func main() {
 	}
 }
 
-type sample struct {
-	status int
-	d      time.Duration
-	err    bool
+// result is the -json wire document.
+type result struct {
+	Clients   int            `json:"clients"`
+	Requests  int            `json:"requests"`
+	ElapsedMS float64        `json:"elapsed_ms"`
+	RPS       float64        `json:"rps"`
+	Status    map[string]int `json:"status"`
+	Errors    int            `json:"errors"`
+	P50MS     float64        `json:"p50_ms"`
+	P95MS     float64        `json:"p95_ms"`
+	P99MS     float64        `json:"p99_ms"`
+	MeanMS    float64        `json:"mean_ms"`
+	MaxMS     float64        `json:"max_ms"`
 }
 
 func run() error {
@@ -48,6 +68,7 @@ func run() error {
 	duration := flag.Duration("duration", 0, "run for a fixed wall-clock time instead of a request count")
 	paths := flag.String("path", "/v1/experiments/fig3", "comma-separated endpoint paths (each may carry its own query)")
 	conditional := flag.Bool("conditional", true, "send If-None-Match with the warmup-captured ETag (exercises the 304 hot path)")
+	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON result object instead of text")
 	flag.Parse()
 
 	endpoints := strings.Split(*paths, ",")
@@ -63,7 +84,9 @@ func run() error {
 	// Warmup: one request per endpoint populates the server's study and
 	// body caches and captures the ETags for conditional mode.
 	etags := make(map[string]string, len(endpoints))
-	fmt.Printf("warmup: %d endpoint(s)\n", len(endpoints))
+	if !*jsonOut {
+		fmt.Printf("warmup: %d endpoint(s)\n", len(endpoints))
+	}
 	for _, ep := range endpoints {
 		t0 := time.Now()
 		resp, err := client.Get(*baseURL + ep)
@@ -76,7 +99,9 @@ func run() error {
 			return fmt.Errorf("warmup %s: status %d", ep, resp.StatusCode)
 		}
 		etags[ep] = resp.Header.Get("ETag")
-		fmt.Printf("  %-48s %8v  etag %s\n", ep, time.Since(t0).Round(time.Millisecond), etags[ep])
+		if !*jsonOut {
+			fmt.Printf("  %-48s %8v  etag %s\n", ep, time.Since(t0).Round(time.Millisecond), etags[ep])
+		}
 	}
 
 	var (
@@ -98,14 +123,18 @@ func run() error {
 		return endpoints[int(n)%len(endpoints)], true
 	}
 
-	samplesCh := make(chan []sample, *clients)
+	// Clients observe straight into one concurrent histogram; only the
+	// small per-status maps merge after the fact.
+	hist := obs.NewRegistry().Histogram("loadgen_request_seconds", "request latency", 1e-9)
+	var errCount atomic.Int64
+	statusCh := make(chan map[int]int, *clients)
 	start := time.Now()
 	var wg sync.WaitGroup
 	for c := 0; c < *clients; c++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var out []sample
+			byStatus := map[int]int{}
 			for {
 				ep, ok := next()
 				if !ok {
@@ -113,7 +142,7 @@ func run() error {
 				}
 				req, err := http.NewRequest(http.MethodGet, *baseURL+ep, nil)
 				if err != nil {
-					out = append(out, sample{err: true})
+					errCount.Add(1)
 					continue
 				}
 				if *conditional {
@@ -122,51 +151,57 @@ func run() error {
 				t0 := time.Now()
 				resp, err := client.Do(req)
 				if err != nil {
-					out = append(out, sample{err: true, d: time.Since(t0)})
+					errCount.Add(1)
 					continue
 				}
 				io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
-				out = append(out, sample{status: resp.StatusCode, d: time.Since(t0)})
+				hist.ObserveSince(t0)
+				byStatus[resp.StatusCode]++
 			}
-			samplesCh <- out
+			statusCh <- byStatus
 		}()
 	}
 	wg.Wait()
-	close(samplesCh)
+	close(statusCh)
 	elapsed := time.Since(start)
 
-	var all []sample
-	for s := range samplesCh {
-		all = append(all, s...)
+	byStatus := map[int]int{}
+	for m := range statusCh {
+		for code, n := range m {
+			byStatus[code] += n
+		}
 	}
-	if len(all) == 0 {
+	errs := int(errCount.Load())
+	requests := int(hist.Count()) + errs
+	if requests == 0 {
 		return fmt.Errorf("no requests issued")
 	}
 
-	byStatus := map[int]int{}
-	errs := 0
-	durs := make([]time.Duration, 0, len(all))
-	for _, s := range all {
-		if s.err {
-			errs++
-			continue
-		}
-		byStatus[s.status]++
-		durs = append(durs, s.d)
+	msQ := func(q float64) float64 { return hist.Quantile(q) / 1e6 }
+	res := result{
+		Clients:   *clients,
+		Requests:  requests,
+		ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+		RPS:       float64(requests) / elapsed.Seconds(),
+		Status:    make(map[string]int, len(byStatus)),
+		Errors:    errs,
+		P50MS:     msQ(0.50),
+		P95MS:     msQ(0.95),
+		P99MS:     msQ(0.99),
+		MeanMS:    hist.Mean() / 1e6,
+		MaxMS:     float64(hist.Max()) / 1e6,
 	}
-	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
-	q := func(p float64) time.Duration {
-		if len(durs) == 0 {
-			return 0
-		}
-		i := int(p * float64(len(durs)-1))
-		return durs[i]
+	for code, n := range byStatus {
+		res.Status[strconv.Itoa(code)] = n
 	}
 
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		return enc.Encode(res)
+	}
 	fmt.Printf("\n%d clients, %d requests in %v → %.1f req/s\n",
-		*clients, len(all), elapsed.Round(time.Millisecond),
-		float64(len(all))/elapsed.Seconds())
+		res.Clients, res.Requests, elapsed.Round(time.Millisecond), res.RPS)
 	statuses := make([]int, 0, len(byStatus))
 	for code := range byStatus {
 		statuses = append(statuses, code)
@@ -178,10 +213,9 @@ func run() error {
 	}
 	parts = append(parts, fmt.Sprintf("errors=%d", errs))
 	fmt.Printf("status: %s\n", strings.Join(parts, " "))
-	if len(durs) > 0 {
-		fmt.Printf("latency: p50=%v p95=%v p99=%v max=%v\n",
-			q(0.50).Round(time.Microsecond), q(0.95).Round(time.Microsecond),
-			q(0.99).Round(time.Microsecond), durs[len(durs)-1].Round(time.Microsecond))
+	if hist.Count() > 0 {
+		fmt.Printf("latency: p50=%.3fms p95=%.3fms p99=%.3fms mean=%.3fms max=%.3fms (quantiles are log2-bucket estimates)\n",
+			res.P50MS, res.P95MS, res.P99MS, res.MeanMS, res.MaxMS)
 	}
 	return nil
 }

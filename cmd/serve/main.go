@@ -15,6 +15,9 @@
 //	/v1/demand/{site}            per-entity demand estimates (json|csv)
 //	/v1/spread/{domain}/{attr}   k-coverage curves (json|csv)
 //	/v1/stats                    cache occupancy, build counters, timings
+//	/metrics                     Prometheus text exposition: per-endpoint
+//	                             latency histograms plus the process-wide
+//	                             pipeline/segment/build series
 //
 // SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight
 // requests.

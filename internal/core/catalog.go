@@ -12,6 +12,7 @@ import (
 func (s *Study) Catalog(site logs.Site) (*demand.Catalog, error) {
 	return s.catalogs.Get(site, func() (*demand.Catalog, error) {
 		s.builds.catalogs.Add(1)
+		defer timeBuild(obsBuildCatalog, spanBuildCatalog)()
 		cat, err := demand.GenerateCatalog(demand.SiteDefaults(site, s.cfg.CatalogN, s.cfg.Seed^siteSalt(site)))
 		if err != nil {
 			return nil, fmt.Errorf("core: generate catalog for %s: %w", site, err)

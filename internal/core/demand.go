@@ -23,6 +23,7 @@ import (
 func (s *Study) Demand(site logs.Site) (map[logs.Source][]demand.Estimate, error) {
 	return s.demands.Get(site, func() (map[logs.Source][]demand.Estimate, error) {
 		s.builds.demands.Add(1)
+		defer timeBuild(obsBuildDemand, spanBuildDemand)()
 		cat, err := s.Catalog(site)
 		if err != nil {
 			return nil, err

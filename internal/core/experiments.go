@@ -307,6 +307,7 @@ func (s *Study) Table2() ([]Table2Row, error) {
 func (s *Study) Graph(d entity.Domain, a entity.Attr) (*graph.Bipartite, error) {
 	return s.graphs.Get(graphKey{d, a}, func() (*graph.Bipartite, error) {
 		s.builds.graphs.Add(1)
+		defer timeBuild(obsBuildGraph, spanBuildGraph)()
 		idx, err := s.Index(d, a)
 		if err != nil {
 			return nil, err

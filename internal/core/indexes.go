@@ -14,6 +14,7 @@ import (
 func (s *Study) Indexes(d entity.Domain) (map[entity.Attr]*index.Index, error) {
 	return s.indexes.Get(d, func() (map[entity.Attr]*index.Index, error) {
 		s.builds.indexes.Add(1)
+		defer timeBuild(obsBuildIndexes, spanBuildIndexes)()
 		w, err := s.Web(d)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,46 @@
+package core
+
+// Artifact-build instrumentation: one latency histogram per artifact
+// class on obs.Default (the builds.* counters in core.go remain the
+// /v1/stats wire source; these add the latency dimension), plus trace
+// spans so `analyze -trace` shows where a study's wall-clock goes.
+// Builds are memoized cold paths — run once per key — so defers and
+// dynamic span names are fine here.
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+var (
+	obsBuildWeb        = buildHist("web")
+	obsBuildIndexes    = buildHist("indexes")
+	obsBuildCatalog    = buildHist("catalog")
+	obsBuildDemand     = buildHist("demand")
+	obsBuildGraph      = buildHist("graph")
+	obsBuildClassifier = buildHist("classifier")
+
+	spanBuildWeb        = obs.RegisterSpan("build/web")
+	spanBuildIndexes    = obs.RegisterSpan("build/indexes")
+	spanBuildCatalog    = obs.RegisterSpan("build/catalog")
+	spanBuildDemand     = obs.RegisterSpan("build/demand")
+	spanBuildGraph      = obs.RegisterSpan("build/graph")
+	spanBuildClassifier = obs.RegisterSpan("build/classifier")
+)
+
+func buildHist(class string) *obs.Histogram {
+	return obs.Default.Histogram("repro_study_build_seconds",
+		"Per-class study artifact build latency", 1e-9, obs.L("class", class))
+}
+
+// timeBuild wraps a memoized build body with its class histogram and
+// span; use as `defer timeBuild(obsBuildWeb, spanBuildWeb)()`.
+func timeBuild(h *obs.Histogram, k *obs.SpanKind) func() {
+	t0 := time.Now()
+	sp := k.Start()
+	return func() {
+		sp.End()
+		h.ObserveSince(t0)
+	}
+}

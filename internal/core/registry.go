@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/entity"
 	"repro/internal/logs"
+	"repro/internal/obs"
 )
 
 // Experiment is one named unit of the reproduction: a paper table or
@@ -280,9 +281,11 @@ func (s *Study) RunExperiments(ctx context.Context, ids []string, workers int) (
 	}
 	runPool(ctx, workers, len(artifacts), func(i int) {
 		t0 := time.Now()
+		sp := obs.StartSpan("artifact/" + artifacts[i].Name)
 		// Build errors surface again (memoized-retry) in phase 2 via the
 		// experiment that needs the artifact, with experiment attribution.
 		_ = artifacts[i].Build(s)
+		sp.End()
 		timings[i].Elapsed = time.Since(t0)
 	})
 	report.Artifacts = timings
@@ -291,7 +294,9 @@ func (s *Study) RunExperiments(ctx context.Context, ids []string, workers int) (
 	// but still fanned out — e.g. Table 2's exact diameters dominate).
 	runPool(ctx, workers, len(exps), func(i int) {
 		t0 := time.Now()
+		sp := obs.StartSpan("experiment/" + exps[i].ID)
 		v, err := exps[i].Run(s)
+		sp.End()
 		report.Results[i] = RunResult{
 			ID: exps[i].ID, Title: exps[i].Title,
 			Value: v, Err: err, Elapsed: time.Since(t0),

@@ -15,6 +15,7 @@ import (
 func (s *Study) Web(d entity.Domain) (*synth.Web, error) {
 	return s.webs.Get(d, func() (*synth.Web, error) {
 		s.builds.webs.Add(1)
+		defer timeBuild(obsBuildWeb, spanBuildWeb)()
 		w, err := synth.Generate(synth.Config{
 			Domain:         d,
 			Entities:       s.cfg.Entities,
@@ -43,6 +44,7 @@ func domainSalt(d entity.Domain) uint64 {
 func (s *Study) ReviewClassifier() (*classify.NaiveBayes, error) {
 	return s.reviewNB.Get(func() (*classify.NaiveBayes, error) {
 		s.builds.classifiers.Add(1)
+		defer timeBuild(obsBuildClassifier, spanBuildClassifier)()
 		w, err := s.Web(entity.Restaurants)
 		if err != nil {
 			return nil, err

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/logs"
 )
@@ -100,7 +101,7 @@ func runGenerators(cat *Catalog, cfg SimConfig, p PipelineConfig, stop *atomic.B
 	var wg sync.WaitGroup
 	for w := 0; w < p.Generators; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			handle, flush := newHandler()
 			defer flush()
@@ -109,6 +110,8 @@ func runGenerators(cat *Catalog, cfg SimConfig, p PipelineConfig, stop *atomic.B
 				if stop != nil && stop.Load() {
 					continue
 				}
+				t0 := time.Now()
+				span := spanGenWindow.StartT(worker)
 				sp := samplers[gw.source]
 				gen := func(emit func(ClickRef) bool) {
 					sp.generateRefs(gw.lo, gw.hi, emit)
@@ -131,8 +134,11 @@ func runGenerators(cat *Catalog, cfg SimConfig, p PipelineConfig, stop *atomic.B
 					}
 				}
 				handle(gw, gen)
+				span.End()
+				obsGenWindowSec.ObserveSince(t0)
+				obsGenWindows.Inc()
 			}
-		}()
+		}(w)
 	}
 	for _, gw := range genWindows(cfg.Events, p.Window) {
 		work <- gw

@@ -156,12 +156,16 @@ func newFreeList(size int) *freeList {
 	return &freeList{ch: make(chan []ClickRef, size)}
 }
 
-// get returns an empty batch with feedBatchSize capacity.
+// get returns an empty batch with feedBatchSize capacity. The hit/miss
+// counters are the pool-sizing signal: a healthy steady state shows
+// misses plateau at the pool's fill cost while hits keep climbing.
 func (f *freeList) get() []ClickRef {
 	select {
 	case b := <-f.ch:
+		obsFreeHits.Inc()
 		return b
 	default:
+		obsFreeMisses.Inc()
 		return make([]ClickRef, 0, feedBatchSize)
 	}
 }
@@ -193,7 +197,10 @@ func (sa *ShardedAggregator) startWorkers(buffer int) (chans []chan []ClickRef, 
 			defer wg.Done()
 			sh := sa.shards[i]
 			for batch := range chans[i] {
+				obsShardRefs.AddShard(i, uint64(len(batch)))
+				sp := spanShardFold.StartT(i)
 				sh.FoldBatch(batch)
+				sp.End()
 				free.put(batch)
 			}
 		}(i)
@@ -247,6 +254,8 @@ func (r *router) emit(ref ClickRef) {
 
 // sendShard flushes shard i's pending batch and primes a fresh one.
 func (r *router) sendShard(i int) {
+	obsRouteBatches.Inc()
+	obsRefsRouted.Add(uint64(len(r.pending[i])))
 	r.chans[i] <- r.pending[i]
 	r.pending[i] = r.free.get()
 }
@@ -255,6 +264,8 @@ func (r *router) sendShard(i int) {
 func (r *router) flush() {
 	for i, batch := range r.pending {
 		if len(batch) > 0 {
+			obsRouteBatches.Inc()
+			obsRefsRouted.Add(uint64(len(batch)))
 			r.chans[i] <- batch
 		}
 		r.pending[i] = nil

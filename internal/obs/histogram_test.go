@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newHist(t *testing.T) *Histogram {
+	t.Helper()
+	return NewRegistry().Histogram("h", "test histogram", 1)
+}
+
+func TestHistogramZeroObservations(t *testing.T) {
+	h := newHist(t)
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram has nonzero state: count=%d sum=%d max=%d", h.Count(), h.Sum(), h.Max())
+	}
+	if got := h.Mean(); got != 0 {
+		t.Fatalf("Mean on empty = %v, want 0", got)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("Quantile(%v) on empty = %v, want 0", q, got)
+		}
+	}
+	// Exposition of an empty histogram is still valid: +Inf bucket,
+	// zero sum and count.
+	var b strings.Builder
+	reg := NewRegistry()
+	reg.Histogram("empty_seconds", "e", 1e-9)
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{`empty_seconds_bucket{le="+Inf"} 0`, "empty_seconds_sum 0", "empty_seconds_count 0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("empty exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramSingleBucket(t *testing.T) {
+	// All observations land in one bucket: every quantile must come
+	// from that bucket's range, and exact stats must be exact.
+	h := newHist(t)
+	for i := 0; i < 100; i++ {
+		h.Observe(5) // bucket for bits.Len64(5)=3 → [4,7]
+	}
+	if h.Count() != 100 || h.Sum() != 500 || h.Max() != 5 {
+		t.Fatalf("count=%d sum=%d max=%d, want 100/500/5", h.Count(), h.Sum(), h.Max())
+	}
+	if got := h.Mean(); got != 5 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if got < 4 || got > 7 {
+			t.Fatalf("Quantile(%v) = %v, outside bucket range [4,7]", q, got)
+		}
+	}
+}
+
+func TestHistogramValueZero(t *testing.T) {
+	h := newHist(t)
+	h.Observe(0)
+	h.Observe(0)
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("Quantile(0.5) of zeros = %v, want 0", got)
+	}
+	if h.Count() != 2 || h.Sum() != 0 {
+		t.Fatalf("count=%d sum=%d, want 2/0", h.Count(), h.Sum())
+	}
+}
+
+func TestHistogramBeyondLastBoundary(t *testing.T) {
+	// Values past the last finite bucket land in the overflow bucket:
+	// exact stats stay exact, quantiles clamp to the last finite
+	// boundary, and exposition rolls the overflow into +Inf only.
+	h := newHist(t)
+	huge := uint64(1) << 60 // way past 2^48-1
+	h.Observe(huge)
+	if h.Count() != 1 || h.Sum() != huge || h.Max() != huge {
+		t.Fatalf("count=%d sum=%d max=%d", h.Count(), h.Sum(), h.Max())
+	}
+	lastFinite := float64(bucketUpper(histBuckets - 1))
+	if got := h.Quantile(0.5); got != lastFinite {
+		t.Fatalf("Quantile(0.5) of overflow = %v, want clamp to %v", got, lastFinite)
+	}
+
+	reg := NewRegistry()
+	oh := reg.Histogram("of_bytes", "overflow", 1)
+	oh.Observe(huge)
+	oh.Observe(10)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `of_bytes_bucket{le="+Inf"} 2`) {
+		t.Fatalf("+Inf bucket should count overflow:\n%s", out)
+	}
+	if !strings.Contains(out, "of_bytes_count 2") {
+		t.Fatalf("count should include overflow:\n%s", out)
+	}
+}
+
+func TestHistogramQuantileMonotonicity(t *testing.T) {
+	// Property test: for random observation sets, Quantile must be
+	// non-decreasing in q, bounded by [0, Max], and q=1 must land in
+	// (or at the clamp of) the max's bucket.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		h := NewRegistry().Histogram("h", "prop", 1)
+		n := 1 + rng.Intn(500)
+		var max uint64
+		for i := 0; i < n; i++ {
+			var v uint64
+			switch rng.Intn(3) {
+			case 0:
+				v = uint64(rng.Intn(16)) // tiny, incl. zero
+			case 1:
+				v = uint64(rng.Int63n(1e6))
+			default:
+				v = uint64(rng.Int63()) // up to 2^63, exercises overflow
+			}
+			if v > max {
+				max = v
+			}
+			h.Observe(v)
+		}
+		qs := []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1}
+		prev := -1.0
+		for _, q := range qs {
+			got := h.Quantile(q)
+			if got < prev {
+				t.Fatalf("trial %d: Quantile not monotone: q=%v got %v < prev %v", trial, q, got, prev)
+			}
+			if got < 0 {
+				t.Fatalf("trial %d: Quantile(%v) = %v < 0", trial, q, got)
+			}
+			// Estimates never exceed the max's bucket upper bound
+			// (or the overflow clamp).
+			bound := float64(bucketUpper(bucketOf(max)))
+			if bucketOf(max) == histBuckets {
+				bound = float64(bucketUpper(histBuckets - 1))
+			}
+			if got > bound {
+				t.Fatalf("trial %d: Quantile(%v) = %v exceeds bucket bound %v (max=%d)", trial, q, got, bound, max)
+			}
+			prev = got
+		}
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	// Log2 buckets bound relative error by 2x: the estimate for any
+	// quantile must land within the true value's bucket.
+	rng := rand.New(rand.NewSource(7))
+	h := newHist(t)
+	vals := make([]uint64, 10000)
+	for i := range vals {
+		vals[i] = uint64(rng.Int63n(1 << 20))
+		h.Observe(vals[i])
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		idx := int(q*float64(len(vals))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		truth := vals[idx]
+		got := h.Quantile(q)
+		b := bucketOf(truth)
+		lo, hi := 0.0, float64(bucketUpper(b))
+		if b > 0 {
+			lo = float64(uint64(1) << uint(b-1))
+		}
+		if got < lo || got > hi {
+			t.Errorf("Quantile(%v) = %v outside truth bucket [%v,%v] (truth %d)", q, got, lo, hi, truth)
+		}
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	// Exactness of count/sum under concurrent writers (-race).
+	h := newHist(t)
+	const workers, perW = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				h.Observe(uint64(w + 1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := h.Count(), uint64(workers*perW); got != want {
+		t.Fatalf("Count = %d, want %d", got, want)
+	}
+	wantSum := uint64(0)
+	for w := 1; w <= workers; w++ {
+		wantSum += uint64(w) * perW
+	}
+	if got := h.Sum(); got != wantSum {
+		t.Fatalf("Sum = %d, want %d", got, wantSum)
+	}
+	if got := h.Max(); got != workers {
+		t.Fatalf("Max = %d, want %d", got, workers)
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	h := newHist(t)
+	h.ObserveDuration(1500 * time.Nanosecond)
+	h.ObserveDuration(-5) // clamps to 0
+	if h.Count() != 2 || h.Sum() != 1500 {
+		t.Fatalf("count=%d sum=%d, want 2/1500", h.Count(), h.Sum())
+	}
+	h.ObserveSince(time.Now().Add(-time.Microsecond))
+	if h.Count() != 3 {
+		t.Fatalf("count=%d, want 3", h.Count())
+	}
+	if h.Sum() < 1500+1000 {
+		t.Fatalf("ObserveSince recorded too little: sum=%d", h.Sum())
+	}
+}
+
+func TestHistogramQuantileClamps(t *testing.T) {
+	h := newHist(t)
+	h.Observe(100)
+	if got := h.Quantile(-0.5); got != h.Quantile(0) {
+		t.Fatalf("q<0 should clamp: %v vs %v", got, h.Quantile(0))
+	}
+	if got := h.Quantile(1.5); got != h.Quantile(1) {
+		t.Fatalf("q>1 should clamp: %v vs %v", got, h.Quantile(1))
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{1: "1", 0: "0", 1.5: "1.5", 255: "255", 1e-9: "1e-09"}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

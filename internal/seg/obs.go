@@ -1,0 +1,25 @@
+package seg
+
+// Replay instrumentation: per-segment counters and decode timing on
+// obs.Default, mirroring the per-call ReplayStats so live replays are
+// visible on /metrics without plumbing stats through every caller.
+// Costs are per SEGMENT (thousands of rows), far off the row path.
+
+import "repro/internal/obs"
+
+var (
+	obsSegScanned = obs.Default.Counter("repro_seg_replay_segments_scanned_total",
+		"Segments whose payload was read and decoded during replay")
+	obsSegSkipped = obs.Default.Counter("repro_seg_replay_segments_skipped_total",
+		"Segments rejected by zone maps alone, payload never read")
+	obsSegBytes = obs.Default.Counter("repro_seg_replay_bytes_read_total",
+		"Payload bytes read from segment files during replay")
+	obsSegRows = obs.Default.Counter("repro_seg_replay_rows_total",
+		"Refs decoded from scanned segments")
+	obsSegMatched = obs.Default.Counter("repro_seg_replay_refs_matched_total",
+		"Decoded refs that satisfied the replay predicate")
+	obsSegDecodeSec = obs.Default.Histogram("repro_seg_decode_seconds",
+		"Per-segment read+CRC+column-decode latency", 1e-9)
+
+	spanSegDecode = obs.RegisterSpan("seg/decode-segment")
+)

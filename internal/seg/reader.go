@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"time"
 
 	"repro/internal/demand"
 )
@@ -84,15 +85,15 @@ func (p Predicate) overlaps(d dirEntry) bool {
 // must show Skipped > 0, and Matched is exactly the refs delivered.
 type ReplayStats struct {
 	// Segments is the total segment count of the file.
-	Segments int
+	Segments int `json:"segments"`
 	// Skipped counts segments rejected by zone maps alone, payload
 	// never read.
-	Skipped int
+	Skipped int `json:"skipped"`
 	// Rows counts refs decoded from scanned segments.
-	Rows uint64
+	Rows uint64 `json:"rows"`
 	// Matched counts refs that satisfied the predicate and were
 	// delivered to fold.
-	Matched uint64
+	Matched uint64 `json:"matched"`
 }
 
 // Reader replays a segment file. It reads the directory eagerly (a few
@@ -218,13 +219,21 @@ func (r *Reader) Replay(p Predicate, fold func(batch []demand.ClickRef)) (Replay
 	for i, d := range r.dir {
 		if !p.overlaps(d) {
 			stats.Skipped++
+			obsSegSkipped.Inc()
 			continue
 		}
+		sp := spanSegDecode.Start()
+		t0 := time.Now()
 		batch, err := r.readSegment(i, d)
+		obsSegDecodeSec.ObserveSince(t0)
+		sp.End()
 		if err != nil {
 			return stats, err
 		}
+		obsSegScanned.Inc()
+		obsSegBytes.Add(uint64(d.colLen[0]) + uint64(d.colLen[1]) + uint64(d.colLen[2]) + uint64(d.colLen[3]))
 		stats.Rows += uint64(len(batch))
+		obsSegRows.Add(uint64(len(batch)))
 		if !p.isAll() {
 			kept := batch[:0]
 			for _, ref := range batch {
@@ -235,6 +244,7 @@ func (r *Reader) Replay(p Predicate, fold func(batch []demand.ClickRef)) (Replay
 			batch = kept
 		}
 		stats.Matched += uint64(len(batch))
+		obsSegMatched.Add(uint64(len(batch)))
 		if len(batch) > 0 {
 			fold(batch)
 		}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/entity"
 	"repro/internal/logs"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -32,6 +33,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /v1/demand/{site}", s.instrument("demand", s.handleDemand))
 	mux.Handle("GET /v1/spread/{domain}/{attr}", s.instrument("spread", s.handleSpread))
 	mux.Handle("GET /v1/stats", s.instrument("stats", s.handleStats))
+	mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	// Timeout wraps Limit so a request's budget covers its time queued
 	// for a slot: when the pool is saturated, waiters are shed 503 at
 	// their deadline instead of piling up unboundedly.
@@ -301,5 +303,29 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", ctJSON)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(s.Stats())
+	if err := enc.Encode(s.Stats()); err != nil {
+		// Headers are gone by now; all we can do is log the failure
+		// (usually a client gone mid-write) like other handler errors.
+		s.log.Error("stats: encode response", "error", err)
+	}
+}
+
+// handleMetrics serves the Prometheus text exposition: the server's
+// own registry (per-endpoint request series, serve gauges) followed by
+// the process-wide obs.Default (demand pipeline, segment replay, study
+// build series). Scrape-time gauges are set here rather than tracked
+// incrementally — the cache snapshot is cheap and always consistent.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	entries, evictions := s.cache.snapshot()
+	s.gCachedStudies.Set(int64(len(entries)))
+	s.gEvictions.Set(int64(evictions))
+	s.gUptime.Set(int64(time.Since(s.start).Seconds()))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.metrics.reg.WritePrometheus(w); err != nil {
+		s.log.Error("metrics: write exposition", "error", err)
+		return
+	}
+	if err := obs.Default.WritePrometheus(w); err != nil {
+		s.log.Error("metrics: write exposition", "error", err)
+	}
 }

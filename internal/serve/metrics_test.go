@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// scrapeMetrics hits GET /metrics and returns the exposition body.
+func scrapeMetrics(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q, want text/plain", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s := New(Options{Studies: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	out := scrapeMetrics(t, ts)
+
+	// Per-endpoint latency series with exact request counts.
+	for _, want := range []string{
+		`repro_http_request_seconds_count{endpoint="healthz"} 2`,
+		`repro_http_request_seconds_bucket{endpoint="healthz",le="+Inf"} 2`,
+		"# TYPE repro_http_request_seconds histogram",
+		"# TYPE repro_http_not_modified_total counter",
+		// Serve-level gauges set at scrape time.
+		"repro_serve_cached_studies 0",
+		"# TYPE repro_serve_uptime_seconds gauge",
+		// Process-wide registries ride along: pipeline stage counters
+		// and segment replay counters are registered at package init,
+		// so they are present (zero or not) on every scrape.
+		"repro_demand_fold_batches_total",
+		"repro_demand_refs_routed_total",
+		"repro_seg_replay_segments_scanned_total",
+		"repro_study_build_seconds",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// expositionLine matches one sample line of the text format:
+// name{labels} value — value integer, float, or scientific.
+var expositionLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$`)
+
+func TestMetricsExpositionParses(t *testing.T) {
+	s := New(Options{Studies: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	out := scrapeMetrics(t, ts)
+	seenSamples := 0
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !expositionLine.MatchString(line) {
+			t.Errorf("malformed exposition line: %q", line)
+		}
+		seenSamples++
+	}
+	if seenSamples < 10 {
+		t.Fatalf("suspiciously few samples (%d):\n%s", seenSamples, out)
+	}
+}
+
+func TestMetricsPerServerIsolation(t *testing.T) {
+	// Two servers must not share endpoint series: each has its own
+	// registry (only obs.Default is process-wide).
+	s1 := New(Options{Studies: 2})
+	s2 := New(Options{Studies: 2})
+	ts1 := httptest.NewServer(s1.Handler())
+	defer ts1.Close()
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+
+	resp, err := http.Get(ts1.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	out2 := scrapeMetrics(t, ts2)
+	if !strings.Contains(out2, `repro_http_request_seconds_count{endpoint="healthz"} 0`) {
+		t.Errorf("server 2 saw server 1's healthz traffic:\n%s", out2)
+	}
+	out1 := scrapeMetrics(t, ts1)
+	if !strings.Contains(out1, `repro_http_request_seconds_count{endpoint="healthz"} 1`) {
+		t.Errorf("server 1 lost its own healthz count:\n%s", out1)
+	}
+}
+
+func TestMetricsEndpointInstrumented(t *testing.T) {
+	// /metrics itself is an instrumented endpoint; a second scrape sees
+	// the first one's latency sample.
+	s := New(Options{Studies: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	scrapeMetrics(t, ts)
+	out := scrapeMetrics(t, ts)
+	if !strings.Contains(out, `repro_http_request_seconds_count{endpoint="metrics"} 1`) {
+		t.Errorf("metrics endpoint not self-instrumented:\n%s", out)
+	}
+}
+
+func TestStatsWireFromObs(t *testing.T) {
+	// The obs-backed snapshot keeps /v1/stats semantics: endpoints with
+	// zero traffic are omitted; count/mean/max are exact.
+	s := New(Options{Studies: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	st := s.Stats()
+	if len(st.Endpoints) != 1 {
+		t.Fatalf("endpoints = %+v, want only healthz", st.Endpoints)
+	}
+	e := st.Endpoints[0]
+	if e.Endpoint != "healthz" || e.Count != 3 || e.Errors != 0 {
+		t.Fatalf("healthz stats = %+v", e)
+	}
+	if e.MeanMS <= 0 || e.MaxMS < e.MeanMS {
+		t.Fatalf("inconsistent timings: %+v", e)
+	}
+}

@@ -30,6 +30,12 @@ import (
 	"net"
 	"net/http"
 	"time"
+
+	"repro/internal/obs"
+	// Linked for its metric registrations only: segment replay counters
+	// must appear on /metrics (as zeros until a replay runs) even though
+	// no serve endpoint replays segments yet.
+	_ "repro/internal/seg"
 )
 
 // Options configures a Server. Zero values take production-sane
@@ -79,6 +85,13 @@ type Server struct {
 	start   time.Time
 	httpSrv *http.Server
 
+	// Scrape-time serve-level gauges on the server's own registry
+	// (demand/seg/core metrics live on obs.Default; /metrics renders
+	// both). Set from the cache snapshot when /metrics is scraped.
+	gCachedStudies *obs.Gauge
+	gEvictions     *obs.Gauge
+	gUptime        *obs.Gauge
+
 	// testDelay, when set (tests only), runs inside the instrumented
 	// handler before the endpoint logic — a hook to hold requests
 	// in-flight for shutdown-drain tests.
@@ -88,12 +101,19 @@ type Server struct {
 // New returns a Server over opts.
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
+	reg := obs.NewRegistry()
 	s := &Server{
 		opts:    opts,
 		log:     opts.Logger,
 		cache:   newStudyCache(opts.Studies, opts.Workers),
-		metrics: newMetrics(),
+		metrics: newMetrics(reg),
 		start:   time.Now(),
+		gCachedStudies: reg.Gauge("repro_serve_cached_studies",
+			"Study configurations currently warm in the LRU"),
+		gEvictions: reg.Gauge("repro_serve_study_evictions",
+			"Study configurations evicted from the LRU since start"),
+		gUptime: reg.Gauge("repro_serve_uptime_seconds",
+			"Seconds since the server started"),
 	}
 	s.httpSrv = &http.Server{
 		Handler:           s.Handler(),

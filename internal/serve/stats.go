@@ -3,49 +3,60 @@ package serve
 import (
 	"net/http"
 	"sort"
-	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
-// metrics aggregates per-endpoint request timings for /v1/stats.
+// endpointNames is the fixed instrumentation vocabulary: every route
+// registers under one of these in Handler(). Fixing the set lets
+// newMetrics prebuild each endpoint's obs series, so the per-request
+// observe path is a read-only map hit plus atomic updates — no lock,
+// unlike the mutex-guarded map this replaced.
+var endpointNames = []string{"healthz", "experiments", "experiment", "demand", "spread", "stats", "metrics"}
+
+// metrics is the server's per-endpoint request telemetry, backed by a
+// per-Server obs.Registry (so concurrent test servers never share
+// state) and rendered both as /v1/stats JSON and /metrics exposition.
 type metrics struct {
-	mu sync.Mutex
-	m  map[string]*endpointAgg
+	reg *obs.Registry
+	by  map[string]*endpointMetrics // immutable after newMetrics
 }
 
-type endpointAgg struct {
-	count       int64
-	notModified int64
-	errors      int64
-	totalNS     int64
-	maxNS       int64
+// endpointMetrics holds one endpoint's series. The latency histogram's
+// exact count/sum/max carry the /v1/stats count, mean and max; its
+// buckets carry the /metrics latency distribution.
+type endpointMetrics struct {
+	latency *obs.Histogram
+	notMod  *obs.Counter
+	errs    *obs.Counter
 }
 
-func newMetrics() *metrics {
-	return &metrics{m: make(map[string]*endpointAgg)}
+func newMetrics(reg *obs.Registry) *metrics {
+	m := &metrics{reg: reg, by: make(map[string]*endpointMetrics, len(endpointNames))}
+	for _, name := range endpointNames {
+		l := obs.L("endpoint", name)
+		m.by[name] = &endpointMetrics{
+			latency: reg.Histogram("repro_http_request_seconds", "Request latency by endpoint", 1e-9, l),
+			notMod:  reg.Counter("repro_http_not_modified_total", "304 revalidation responses by endpoint", l),
+			errs:    reg.Counter("repro_http_errors_total", "Responses with status >= 400 by endpoint", l),
+		}
+	}
+	return m
 }
 
 func (m *metrics) observe(endpoint string, status int, d time.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	a := m.m[endpoint]
-	if a == nil {
-		a = &endpointAgg{}
-		m.m[endpoint] = a
+	e := m.by[endpoint]
+	if e == nil {
+		return // unregistered endpoint name: a programming error, not worth a lock to track
 	}
-	a.count++
+	e.latency.ObserveDuration(d)
 	if status == http.StatusNotModified {
-		a.notModified++
+		e.notMod.Inc()
 	}
 	if status >= 400 {
-		a.errors++
-	}
-	ns := d.Nanoseconds()
-	a.totalNS += ns
-	if ns > a.maxNS {
-		a.maxNS = ns
+		e.errs.Inc()
 	}
 }
 
@@ -60,22 +71,25 @@ type EndpointStats struct {
 	MaxMS       float64 `json:"max_ms"`
 }
 
+// snapshot derives the wire stats from the obs series. Count, mean and
+// max come from the histogram's exact atomics (not bucket estimates),
+// so the numbers match what the replaced mutex aggregation reported.
+// Endpoints never hit are skipped, as before.
 func (m *metrics) snapshot() []EndpointStats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]EndpointStats, 0, len(m.m))
-	for name, a := range m.m {
-		s := EndpointStats{
+	out := make([]EndpointStats, 0, len(m.by))
+	for name, e := range m.by {
+		n := e.latency.Count()
+		if n == 0 {
+			continue
+		}
+		out = append(out, EndpointStats{
 			Endpoint:    name,
-			Count:       a.count,
-			NotModified: a.notModified,
-			Errors:      a.errors,
-			MaxMS:       float64(a.maxNS) / 1e6,
-		}
-		if a.count > 0 {
-			s.MeanMS = float64(a.totalNS) / float64(a.count) / 1e6
-		}
-		out = append(out, s)
+			Count:       int64(n),
+			NotModified: int64(e.notMod.Value()),
+			Errors:      int64(e.errs.Value()),
+			MeanMS:      e.latency.Mean() / 1e6,
+			MaxMS:       float64(e.latency.Max()) / 1e6,
+		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Endpoint < out[j].Endpoint })
 	return out
