@@ -18,9 +18,14 @@
 //	clicklog gen -site yelp -n 5000 -events 200000 -seed 1 -gen 8 -out clicks.tsv
 //	clicklog gen -site yelp -n 5000 -events 200000 -seed 1 -format seg -out clicks.seg
 //
-// Only successfully written clicks are counted, and a generation that
-// fails mid-stream removes its partial output file instead of leaving
-// a truncated log behind.
+// Generation is crash-safe: the stream is written to a temp file that
+// is fsynced (per -fsync: always fsyncs each flushed segment too;
+// close, the default, fsyncs once before publish; off skips
+// durability) and atomically renamed into place — with the directory
+// fsynced — only after a clean finish. Only successfully written
+// clicks are counted, and a generation that fails mid-stream (the
+// clicklog/gen/emit failpoint injects exactly this in tests) leaves
+// neither the output path nor a temp file behind.
 //
 // Aggregate a log back into per-entity demand across -shards concurrent
 // shard workers and print the demand distribution summary (the input
@@ -31,7 +36,10 @@
 //
 // Segment replay takes pushdown predicates — -src, -days lo:hi,
 // -entities lo:hi — and skips whole segments whose zone maps cannot
-// match, reporting scanned vs skipped counts. TSV replay skips
+// match, reporting scanned vs skipped counts. A damaged segment log
+// (torn tail, corrupt block) fails a strict replay; -salvage opens it
+// with seg.OpenSalvage instead, folding the CRC-valid prefix and
+// reporting quarantined segment counts alongside scanned/skipped. TSV replay skips
 // malformed lines with a counter (use -strict to abort on the first
 // bad line instead) and reports parsed vs aggregated vs dropped
 // (non-entity) vs malformed separately. -cookies hints the known
@@ -61,11 +69,18 @@ import (
 	"strings"
 
 	"repro/internal/demand"
+	"repro/internal/fail"
+	"repro/internal/fsx"
 	"repro/internal/logs"
 	"repro/internal/obs"
 	"repro/internal/seg"
 	"repro/internal/stats"
 )
+
+// fpEmit fires before each click is handed to the output writer:
+// arming it injects mid-stream generation failures, the fault the
+// atomic temp-file cleanup contract is tested against.
+var fpEmit = fail.Register("clicklog/gen/emit")
 
 // traceTo enables span recording when path is non-empty and returns
 // the dump-at-exit func for the caller to defer.
@@ -121,50 +136,49 @@ type genOptions struct {
 	out     string
 	format  string // tsv | seg
 	segRows int
-	// failAfter, when >0, fails the write path after that many clicks —
-	// a test hook (no flag binds it) for the partial-file cleanup
-	// contract.
-	failAfter uint64
+	fsync   string // always | close | off ("": close)
 }
-
-// errGenFailAfter is the injected failure genOptions.failAfter raises.
-var errGenFailAfter = errors.New("injected write failure")
 
 // generate writes the simulated click stream for o to o.out and
 // returns the number of clicks successfully written. The count
 // increments only after the writer accepts a click — a failed write is
-// not reported as written — and any error after the output file is
-// created removes the partial file so a failed gen never leaves a
-// truncated log behind.
+// not reported as written. The stream goes to an fsx temp file and is
+// atomically renamed to o.out (with fsync per o.fsync) only after a
+// clean finish: a crash or mid-stream error — including one injected
+// at the clicklog/gen/emit failpoint — leaves neither a truncated
+// o.out nor a stray temp file.
 func generate(o genOptions) (count uint64, err error) {
 	if o.format != "tsv" && o.format != "seg" {
 		return 0, fmt.Errorf("unknown -format %q (tsv, seg)", o.format)
+	}
+	policy := fsx.SyncClose
+	if o.fsync != "" {
+		if policy, err = fsx.ParseSyncPolicy(o.fsync); err != nil {
+			return 0, err
+		}
 	}
 	cat, err := catalogFor(o.site, o.n, o.seed)
 	if err != nil {
 		return 0, err
 	}
-	f, err := os.Create(o.out)
+	af, err := fsx.CreateAtomic(o.out, policy)
 	if err != nil {
-		return 0, fmt.Errorf("create %s: %w", o.out, err)
+		return 0, err
 	}
 	committed := false
 	defer func() {
 		if !committed {
-			f.Close()
-			if rmErr := os.Remove(o.out); rmErr == nil && err != nil {
-				err = fmt.Errorf("%w (partial %s removed)", err, o.out)
-			}
+			af.Abort()
 		}
 	}()
 	cfg := demand.SimConfig{Events: o.events, Cookies: o.cookies, Seed: o.seed ^ 0x51b}
 	p := demand.PipelineConfig{Generators: o.gen}
 	switch o.format {
 	case "tsv":
-		w := logs.NewWriter(f)
+		w := logs.NewWriter(af)
 		if err := demand.GenerateOrdered(cat, cfg, p, func(c logs.Click) error {
-			if o.failAfter > 0 && count >= o.failAfter {
-				return errGenFailAfter
+			if ferr := fpEmit.Fail(); ferr != nil {
+				return ferr
 			}
 			if err := w.Write(c); err != nil {
 				return err
@@ -178,10 +192,13 @@ func generate(o genOptions) (count uint64, err error) {
 			return count, err
 		}
 	case "seg":
-		sw := seg.NewWriter(f, o.segRows)
+		// The segment writer sees the AtomicFile directly, so under
+		// -fsync always its per-segment BatchSync bounds data loss to
+		// one segment rather than the whole run.
+		sw := seg.NewWriter(af, o.segRows)
 		if err := demand.GenerateOrderedRefs(cat, cfg, p, func(r demand.ClickRef) error {
-			if o.failAfter > 0 && count >= o.failAfter {
-				return errGenFailAfter
+			if ferr := fpEmit.Fail(); ferr != nil {
+				return ferr
 			}
 			if err := sw.Add(r); err != nil {
 				return err
@@ -195,8 +212,8 @@ func generate(o genOptions) (count uint64, err error) {
 			return count, err
 		}
 	}
-	if err := f.Close(); err != nil {
-		return count, fmt.Errorf("close %s: %w", o.out, err)
+	if err := af.Commit(); err != nil {
+		return count, err
 	}
 	committed = true
 	return count, nil
@@ -214,6 +231,7 @@ func runGen(args []string) error {
 	fs.StringVar(&o.out, "out", "clicks.tsv", "output log path")
 	fs.StringVar(&o.format, "format", "tsv", "output format: tsv (wire log) or seg (columnar segments)")
 	fs.IntVar(&o.segRows, "segrows", 0, "refs per segment for -format seg (0: default)")
+	fs.StringVar(&o.fsync, "fsync", "close", "durability before the atomic rename: always (also fsync each flushed segment), close, off")
 	trace := fs.String("trace", "", "write a Chrome trace-event JSON of pipeline spans to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -239,6 +257,7 @@ type aggOptions struct {
 	format   string // auto | tsv | seg
 	cookies  int    // cookie-population hint, 0 = none
 	strict   bool   // abort on first malformed TSV line
+	salvage  bool   // segment input: recover the CRC-valid prefix of a damaged file
 	src      string // "" | search | browse
 	days     string // "" | "lo:hi" inclusive
 	entities string // "" | "lo:hi" inclusive
@@ -348,7 +367,11 @@ func aggregate(o aggOptions) (*aggResult, error) {
 
 	switch format {
 	case "seg":
-		r, err := seg.OpenFile(o.in)
+		open := seg.OpenFile
+		if o.salvage {
+			open = seg.OpenSalvage
+		}
+		r, err := open(o.in)
 		if err != nil {
 			return nil, err
 		}
@@ -366,6 +389,9 @@ func aggregate(o aggOptions) (*aggResult, error) {
 	case "tsv":
 		if hasPred {
 			return nil, fmt.Errorf("pushdown flags (-src, -days, -entities) need a segment input; %s is tsv", o.in)
+		}
+		if o.salvage {
+			return nil, fmt.Errorf("-salvage needs a segment input; %s is tsv", o.in)
 		}
 		f, err := os.Open(o.in)
 		if err != nil {
@@ -446,8 +472,8 @@ func summaryLine(s aggSummary) string {
 	fmt.Fprintf(&b, "summary format=%s shards=%d parsed=%d resolved=%d dropped=%d malformed=%d",
 		s.Format, s.Shards, s.Parsed, s.Resolved, s.Dropped, s.Malformed)
 	if s.Replay != nil {
-		fmt.Fprintf(&b, " segments=%d skipped=%d rows=%d matched=%d",
-			s.Replay.Segments, s.Replay.Skipped, s.Replay.Rows, s.Replay.Matched)
+		fmt.Fprintf(&b, " segments=%d skipped=%d quarantined=%d rows=%d matched=%d",
+			s.Replay.Segments, s.Replay.Skipped, s.Replay.Quarantined, s.Replay.Rows, s.Replay.Matched)
 	}
 	keys := make([]string, 0, len(s.Obs))
 	for k := range s.Obs {
@@ -472,6 +498,7 @@ func runAgg(args []string) error {
 	fs.StringVar(&o.format, "format", "auto", "input format: auto (sniff magic), tsv, seg")
 	fs.IntVar(&o.cookies, "cookies", 0, "known cookie population hint (0: none) — enables bitmap distinct counting")
 	fs.BoolVar(&o.strict, "strict", false, "abort on the first malformed line instead of skipping it")
+	fs.BoolVar(&o.salvage, "salvage", false, "segment input: recover the CRC-valid prefix of a damaged log instead of failing")
 	fs.StringVar(&o.src, "src", "", "segment pushdown: keep one source (search or browse)")
 	fs.StringVar(&o.days, "days", "", "segment pushdown: keep days lo:hi (inclusive)")
 	fs.StringVar(&o.entities, "entities", "", "segment pushdown: keep entity indexes lo:hi (inclusive)")
@@ -517,8 +544,12 @@ func runAgg(args []string) error {
 	switch res.format {
 	case "seg":
 		st := res.segStats
-		fmt.Printf("replayed %s (seg): %d refs folded of %d decoded; %d/%d segments scanned, %d skipped by zone maps; %d shards\n\n",
+		fmt.Printf("replayed %s (seg): %d refs folded of %d decoded; %d/%d segments scanned, %d skipped by zone maps; %d shards\n",
 			o.in, res.resolved, st.Rows, st.Segments-st.Skipped, st.Segments, st.Skipped, res.sa.Shards())
+		if st.Quarantined > 0 {
+			fmt.Printf("salvage: %d corrupt segment(s) quarantined; demand below covers the surviving prefix only\n", st.Quarantined)
+		}
+		fmt.Println()
 	default:
 		fmt.Printf("replayed %s (tsv): %d clicks parsed — %d aggregated, %d dropped (non-entity), %d malformed lines skipped; %d shards\n\n",
 			o.in, res.parsed, res.resolved, res.dropped, res.malformed, res.sa.Shards())

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/demand"
+	"repro/internal/fail"
 	"repro/internal/logs"
 )
 
@@ -176,24 +177,145 @@ func TestMalformedLineHandling(t *testing.T) {
 	}
 }
 
-// TestFailedGenLeavesNoFile: a generation failing mid-stream removes
-// its partial output instead of leaving a truncated log, for both
-// formats; the reported count stays at the successfully-written total.
+// TestFailedGenLeavesNoFile: a generation failing mid-stream (fault
+// injected at the clicklog/gen/emit failpoint after 50 clean emits)
+// leaves neither the output path nor the atomic temp file, for both
+// formats and every fsync policy; the reported count stays at the
+// successfully-written total.
 func TestFailedGenLeavesNoFile(t *testing.T) {
 	for _, format := range []string{"tsv", "seg"} {
-		dir := t.TempDir()
-		o := testGen
-		o.format, o.out, o.failAfter = format, filepath.Join(dir, "clicks.out"), 50
-		count, err := generate(o)
-		if !errors.Is(err, errGenFailAfter) {
-			t.Fatalf("%s: err = %v, want injected failure", format, err)
+		for _, fsync := range []string{"always", "close", "off"} {
+			dir := t.TempDir()
+			o := testGen
+			o.format, o.fsync, o.out = format, fsync, filepath.Join(dir, "clicks.out")
+			fail.Arm("clicklog/gen/emit", fail.Action{Kind: fail.Error, Skip: 50, Times: 1})
+			count, err := generate(o)
+			fail.Disarm("clicklog/gen/emit")
+			if !errors.Is(err, fail.ErrInjected) {
+				t.Fatalf("%s/%s: err = %v, want injected failure", format, fsync, err)
+			}
+			if count != 50 {
+				t.Fatalf("%s/%s: count = %d, want exactly the 50 successful writes", format, fsync, count)
+			}
+			ents, readErr := os.ReadDir(dir)
+			if readErr != nil {
+				t.Fatal(readErr)
+			}
+			if len(ents) != 0 {
+				t.Fatalf("%s/%s: failed gen left files behind: %v", format, fsync, ents)
+			}
 		}
-		if count != 50 {
-			t.Fatalf("%s: count = %d, want exactly the 50 successful writes", format, count)
+	}
+}
+
+// TestGenFsyncAlwaysPublishes: the strictest durability policy still
+// produces a byte-valid, replayable segment log at the final path.
+func TestGenFsyncAlwaysPublishes(t *testing.T) {
+	dir := t.TempDir()
+	o := testGen
+	o.format, o.fsync, o.out = "seg", "always", filepath.Join(dir, "clicks.seg")
+	n, err := generate(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(o.out + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp file survived a committed gen")
+	}
+	res, err := aggregate(aggOptions{site: "yelp", n: 120, seed: 9, in: o.out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.segStats.Rows != n {
+		t.Fatalf("replayed %d rows, want %d", res.segStats.Rows, n)
+	}
+}
+
+// TestAggSalvageDamagedSegments: damaged segment logs fail a strict
+// replay but recover under -salvage. Two damage shapes: a torn tail
+// (crash before the directory sealed — the forward scan keeps the
+// intact prefix, nothing to quarantine) and one corrupt payload byte
+// under an intact directory (the bad segment is quarantined, the rest
+// replay). -salvage on TSV input is rejected.
+func TestAggSalvageDamagedSegments(t *testing.T) {
+	dir := t.TempDir()
+	segf := filepath.Join(dir, "clicks.seg")
+	o := testGen
+	o.format, o.out, o.segRows = "seg", segf, 64
+	n, err := generate(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := os.ReadFile(segf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	strictFails := func(in string) {
+		t.Helper()
+		if _, err := aggregate(aggOptions{site: "yelp", n: 120, seed: 9, shards: 2, in: in}); err == nil {
+			t.Fatal("strict replay of a damaged segment file should fail")
 		}
-		if _, statErr := os.Stat(o.out); !os.IsNotExist(statErr) {
-			t.Fatalf("%s: partial file left behind (stat err %v)", format, statErr)
+	}
+	salvaged := func(in string) *aggResult {
+		t.Helper()
+		res, err := aggregate(aggOptions{site: "yelp", n: 120, seed: 9, shards: 2, in: in, salvage: true})
+		if err != nil {
+			t.Fatalf("salvage replay: %v", err)
 		}
+		return res
+	}
+
+	// Torn tail: the file loses its directory and its last segments;
+	// salvage keeps the longest valid prefix.
+	torn := filepath.Join(dir, "torn.seg")
+	if err := os.WriteFile(torn, orig[:len(orig)*2/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	strictFails(torn)
+	res := salvaged(torn)
+	if res.segStats.Rows == 0 || res.segStats.Rows >= n {
+		t.Fatalf("torn-tail salvage kept %d rows of %d generated, want a nonzero strict prefix", res.segStats.Rows, n)
+	}
+
+	// One flipped payload byte in the first segment, directory intact:
+	// exactly that segment is quarantined, every other row replays.
+	bad := append([]byte(nil), orig...)
+	bad[100] ^= 0xff
+	flip := filepath.Join(dir, "flip.seg")
+	if err := os.WriteFile(flip, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	strictFails(flip)
+	res = salvaged(flip)
+	if res.segStats.Quarantined != 1 {
+		t.Fatalf("corrupt-payload salvage quarantined %d segments, want 1", res.segStats.Quarantined)
+	}
+	if res.segStats.Rows != n-64 {
+		t.Fatalf("corrupt-payload salvage kept %d rows, want %d (all but the 64-row bad segment)", res.segStats.Rows, n-64)
+	}
+
+	tsv := filepath.Join(dir, "clicks.tsv")
+	ot := testGen
+	ot.format, ot.out = "tsv", tsv
+	if _, err := generate(ot); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := aggregate(aggOptions{site: "yelp", n: 120, seed: 9, in: tsv, salvage: true}); err == nil {
+		t.Fatal("-salvage on tsv input should be rejected")
+	}
+}
+
+// TestGenRejectsBadFsync: an invalid -fsync value fails before any
+// file is created.
+func TestGenRejectsBadFsync(t *testing.T) {
+	dir := t.TempDir()
+	o := testGen
+	o.format, o.fsync, o.out = "tsv", "sometimes", filepath.Join(dir, "x")
+	if _, err := generate(o); err == nil {
+		t.Fatal("bad fsync policy should fail")
+	}
+	if _, err := os.Stat(o.out); !os.IsNotExist(err) {
+		t.Fatal("failed validation must not create the output file")
 	}
 }
 

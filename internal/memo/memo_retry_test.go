@@ -1,0 +1,307 @@
+package memo
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fail"
+)
+
+// fakeClock is a manually-advanced Policy.Now source.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestGetRetryHealsTransient: a builder that fails once then succeeds
+// heals inside one GetRetry call — no error escapes, no duplicate
+// builds afterwards, and the backoff sleep between attempts carries
+// jitter in [BaseDelay/2, BaseDelay).
+func TestGetRetryHealsTransient(t *testing.T) {
+	var m Map[string, int]
+	var builds atomic.Int64
+	transient := errors.New("transient")
+	build := func() (int, error) {
+		if builds.Add(1) == 1 {
+			return 0, transient
+		}
+		return 7, nil
+	}
+	var slept []time.Duration
+	p := Policy{
+		Attempts:  3,
+		BaseDelay: 40 * time.Millisecond,
+		MaxDelay:  time.Second,
+		Seed:      5,
+		Sleep:     func(d time.Duration) { slept = append(slept, d) },
+	}
+	v, err := m.GetRetry("k", build, p)
+	if err != nil || v != 7 {
+		t.Fatalf("GetRetry = %v, %v", v, err)
+	}
+	if n := builds.Load(); n != 2 {
+		t.Fatalf("builder ran %d times, want 2 (fail, heal)", n)
+	}
+	if len(slept) != 1 || slept[0] < 20*time.Millisecond || slept[0] >= 40*time.Millisecond {
+		t.Fatalf("backoff sleeps = %v, want one in [20ms, 40ms)", slept)
+	}
+	// Healed result is cached: no more builds, no more sleeps.
+	if v, err := m.GetRetry("k", build, p); err != nil || v != 7 {
+		t.Fatalf("second GetRetry = %v, %v", v, err)
+	}
+	if builds.Load() != 2 || len(slept) != 1 {
+		t.Errorf("cached GetRetry built again (builds=%d sleeps=%d)", builds.Load(), len(slept))
+	}
+}
+
+// TestGetRetryBackoffDeterministic: same seed, same schedule; the
+// exponential envelope doubles per attempt under the cap.
+func TestGetRetryBackoffDeterministic(t *testing.T) {
+	p := Policy{BaseDelay: 100 * time.Millisecond, MaxDelay: 350 * time.Millisecond, Seed: 9}
+	var a, b []time.Duration
+	for n := 2; n <= 5; n++ {
+		a = append(a, p.backoff(n))
+		b = append(b, p.backoff(n))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("backoff(%d) nondeterministic: %v vs %v", i+2, a[i], b[i])
+		}
+	}
+	// Envelopes: attempt 2 in [50,100)ms, attempt 3 in [100,200)ms,
+	// attempts 4 and 5 capped at [175,350)ms.
+	envelopes := [][2]time.Duration{
+		{50 * time.Millisecond, 100 * time.Millisecond},
+		{100 * time.Millisecond, 200 * time.Millisecond},
+		{175 * time.Millisecond, 350 * time.Millisecond},
+		{175 * time.Millisecond, 350 * time.Millisecond},
+	}
+	for i, d := range a {
+		if d < envelopes[i][0] || d >= envelopes[i][1] {
+			t.Errorf("backoff(%d) = %v outside [%v, %v)", i+2, d, envelopes[i][0], envelopes[i][1])
+		}
+	}
+	if d := (Policy{}).backoff(2); d != 0 {
+		t.Errorf("zero-policy backoff = %v, want 0", d)
+	}
+}
+
+// TestGetRetryNegativeCache: after the attempts budget is spent, the
+// error is served from the negative cache — zero builds — until the
+// TTL expires, then building resumes.
+func TestGetRetryNegativeCache(t *testing.T) {
+	var m Map[string, int]
+	var builds atomic.Int64
+	boom := errors.New("persistent")
+	build := func() (int, error) { builds.Add(1); return 0, boom }
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	p := Policy{
+		Attempts: 2,
+		ErrTTL:   time.Second,
+		Sleep:    func(time.Duration) {},
+		Now:      clk.now,
+	}
+	if _, err := m.GetRetry("k", build, p); !errors.Is(err, boom) {
+		t.Fatalf("first GetRetry = %v", err)
+	}
+	if builds.Load() != 2 {
+		t.Fatalf("first call built %d times, want 2", builds.Load())
+	}
+	// Inside the TTL: the cached error, no builds.
+	for i := 0; i < 5; i++ {
+		if _, err := m.GetRetry("k", build, p); !errors.Is(err, boom) {
+			t.Fatalf("neg-cached GetRetry = %v", err)
+		}
+	}
+	if builds.Load() != 2 {
+		t.Fatalf("neg-cached calls built (total %d, want 2)", builds.Load())
+	}
+	// TTL expiry: builds resume.
+	clk.advance(2 * time.Second)
+	if _, err := m.GetRetry("k", build, p); !errors.Is(err, boom) {
+		t.Fatalf("post-TTL GetRetry = %v", err)
+	}
+	if builds.Load() != 4 {
+		t.Errorf("post-TTL call built %d total, want 4", builds.Load())
+	}
+}
+
+// TestGetRetryZeroPolicyIsGet: no retries, no negative cache.
+func TestGetRetryZeroPolicyIsGet(t *testing.T) {
+	var m Map[string, int]
+	var builds atomic.Int64
+	boom := errors.New("x")
+	build := func() (int, error) { builds.Add(1); return 0, boom }
+	for i := 0; i < 3; i++ {
+		if _, err := m.GetRetry("k", build, Policy{}); !errors.Is(err, boom) {
+			t.Fatalf("GetRetry = %v", err)
+		}
+	}
+	if builds.Load() != 3 {
+		t.Errorf("zero-policy GetRetry built %d times over 3 calls, want 3", builds.Load())
+	}
+}
+
+// TestGetRetrySingleflight: concurrent GetRetry callers for one key
+// share the in-flight build — retrying never duplicates a build
+// another caller is running.
+func TestGetRetrySingleflight(t *testing.T) {
+	var m Map[string, int]
+	var builds atomic.Int64
+	build := func() (int, error) {
+		builds.Add(1)
+		time.Sleep(2 * time.Millisecond)
+		return 11, nil
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if v, err := m.GetRetry("k", build, Policy{Attempts: 3}); err != nil || v != 11 {
+				t.Errorf("GetRetry = %v, %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if builds.Load() != 1 {
+		t.Errorf("%d builds across 16 concurrent callers, want 1", builds.Load())
+	}
+}
+
+func TestForget(t *testing.T) {
+	var m Map[string, int]
+	calls := 0
+	build := func() (int, error) { calls++; return calls, nil }
+	if v, _ := m.Get("k", build); v != 1 {
+		t.Fatalf("first build = %d", v)
+	}
+	m.Forget("k")
+	if _, ok := m.Cached("k"); ok {
+		t.Fatal("Cached true after Forget")
+	}
+	if v, _ := m.Get("k", build); v != 2 {
+		t.Fatalf("post-Forget build = %d, want a fresh build", v)
+	}
+
+	// Forget also clears the negative cache.
+	boom := errors.New("nope")
+	var nm Map[string, int]
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	p := Policy{ErrTTL: time.Hour, Now: clk.now}
+	nbuilds := 0
+	nm.GetRetry("k", func() (int, error) { nbuilds++; return 0, boom }, p)
+	nm.Forget("k")
+	if v, err := nm.GetRetry("k", func() (int, error) { nbuilds++; return 9, nil }, p); err != nil || v != 9 {
+		t.Fatalf("GetRetry after Forget = %v, %v (neg cache not cleared)", v, err)
+	}
+	if nbuilds != 2 {
+		t.Errorf("builds = %d, want 2", nbuilds)
+	}
+}
+
+// TestForgetDuringBuildKeepsNewerEntry pins the delete guard: when a
+// build that started before a Forget finishes with an error, it must
+// not evict the NEWER in-flight entry that replaced it.
+func TestForgetDuringBuildKeepsNewerEntry(t *testing.T) {
+	var m Map[string, int]
+	aStarted := make(chan struct{})
+	aRelease := make(chan struct{})
+	bStarted := make(chan struct{})
+	bRelease := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, err := m.Get("k", func() (int, error) {
+			close(aStarted)
+			<-aRelease
+			return 0, errors.New("stale build fails")
+		})
+		if err == nil {
+			t.Error("build A should fail")
+		}
+	}()
+	<-aStarted
+	m.Forget("k")
+	go func() {
+		defer wg.Done()
+		v, err := m.Get("k", func() (int, error) {
+			close(bStarted)
+			<-bRelease
+			return 42, nil
+		})
+		if err != nil || v != 42 {
+			t.Errorf("build B = %v, %v", v, err)
+		}
+	}()
+	<-bStarted      // B's entry now occupies the slot
+	close(aRelease) // A fails; its cleanup must not delete B's entry
+	close(bRelease)
+	wg.Wait()
+	if v, ok := m.Cached("k"); !ok || v != 42 {
+		t.Fatalf("Cached = %v, %v; build A's failure evicted build B's result", v, ok)
+	}
+}
+
+// TestCachedContract: Cached never observes a mid-build or failed
+// value — the invariant stale-while-error serving stands on.
+func TestCachedContract(t *testing.T) {
+	var m Map[string, int]
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		m.Get("k", func() (int, error) {
+			close(started)
+			<-release
+			return 0, errors.New("failed build")
+		})
+	}()
+	<-started
+	if _, ok := m.Cached("k"); ok {
+		t.Fatal("Cached observed a mid-build value")
+	}
+	close(release)
+	<-done
+	if _, ok := m.Cached("k"); ok {
+		t.Fatal("Cached observed a failed build")
+	}
+	m.Get("k", func() (int, error) { return 5, nil })
+	if v, ok := m.Cached("k"); !ok || v != 5 {
+		t.Fatalf("Cached after success = %v, %v", v, ok)
+	}
+}
+
+// TestBuildFailpoint: the memo/build site injects a failure into any
+// builder without a bespoke flaky build func, and GetRetry heals it.
+func TestBuildFailpoint(t *testing.T) {
+	fail.Arm("memo/build", fail.Action{Kind: fail.Error, Times: 1})
+	defer fail.Disarm("memo/build")
+	var m Map[string, int]
+	builds := 0
+	build := func() (int, error) { builds++; return 3, nil }
+	v, err := m.GetRetry("k", build, Policy{Attempts: 2, Sleep: func(time.Duration) {}})
+	if err != nil || v != 3 {
+		t.Fatalf("GetRetry across injected build fault = %v, %v", v, err)
+	}
+	if builds != 1 {
+		t.Errorf("real builder ran %d times, want 1 (first attempt was injected away)", builds)
+	}
+}

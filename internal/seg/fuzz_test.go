@@ -80,3 +80,50 @@ func FuzzSegmentRoundTrip(f *testing.F) {
 		}
 	})
 }
+
+// FuzzOpenSalvage drives the recovery path with hostile file images:
+// salvage must never panic, a salvage replay must never error (corrupt
+// segments are quarantined, not raised), and the stats must account
+// exactly for what the fold saw.
+func FuzzOpenSalvage(f *testing.F) {
+	var seed bytes.Buffer
+	w := NewWriter(&seed, 4)
+	for i := 0; i < 20; i++ {
+		w.Add(demand.ClickRef{Cookie: uint64(i) << 33, Entity: int32(i * 7), Day: int16(i), Src: uint8(i % 2)})
+	}
+	w.Close()
+	valid := seed.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:len(valid)-3])
+	mut := append([]byte(nil), valid...)
+	mut[len(mut)/3] ^= 0xff
+	f.Add(mut)
+	f.Add([]byte{})
+	f.Add([]byte(headerMagic))
+	f.Add([]byte("CSEGv1\r\nCSEGend\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReaderSalvage(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			return // too short or wrong magic: not a segment file at all
+		}
+		var rows, batches uint64
+		stats, err := r.Replay(All(), func(b []demand.ClickRef) {
+			if len(b) == 0 {
+				t.Fatal("fold called with an empty batch")
+			}
+			rows += uint64(len(b))
+			batches++
+		})
+		if err != nil {
+			t.Fatalf("salvage replay errored: %v", err)
+		}
+		if stats.Rows != rows || stats.Matched != rows {
+			t.Fatalf("stats %+v inconsistent with %d delivered rows", stats, rows)
+		}
+		if int(batches)+stats.Skipped+stats.Quarantined-r.quarOpen != stats.Segments {
+			t.Fatalf("stats %+v inconsistent with %d batches", stats, batches)
+		}
+	})
+}

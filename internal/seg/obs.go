@@ -18,6 +18,8 @@ var (
 		"Refs decoded from scanned segments")
 	obsSegMatched = obs.Default.Counter("repro_seg_replay_refs_matched_total",
 		"Decoded refs that satisfied the replay predicate")
+	obsSegQuarantined = obs.Default.Counter("repro_seg_replay_segments_quarantined_total",
+		"Corrupt segments skipped (not delivered) by salvage-mode opens and replays")
 	obsSegDecodeSec = obs.Default.Histogram("repro_seg_decode_seconds",
 		"Per-segment read+CRC+column-decode latency", 1e-9)
 

@@ -89,11 +89,25 @@ type ReplayStats struct {
 	// Skipped counts segments rejected by zone maps alone, payload
 	// never read.
 	Skipped int `json:"skipped"`
+	// Quarantined counts corrupt segments skipped instead of aborting
+	// the replay: structurally-bad directory entries dropped when the
+	// file was opened in salvage mode, plus segments whose header or
+	// payload failed validation during a salvage replay. Always zero in
+	// strict mode, where corruption is an error.
+	Quarantined int `json:"quarantined"`
 	// Rows counts refs decoded from scanned segments.
 	Rows uint64 `json:"rows"`
 	// Matched counts refs that satisfied the predicate and were
 	// delivered to fold.
 	Matched uint64 `json:"matched"`
+}
+
+// ReplayOpts selects replay failure semantics. The zero value is
+// strict: any corrupt segment aborts the replay with an error. Salvage
+// quarantines corrupt segments — skip, count in Quarantined, keep
+// going — delivering every intact segment of a damaged file.
+type ReplayOpts struct {
+	Salvage bool
 }
 
 // Reader replays a segment file. It reads the directory eagerly (a few
@@ -102,11 +116,14 @@ type ReplayStats struct {
 // segment, independent of file size. A Reader is single-goroutine;
 // open one per concurrent replay (they can share the file).
 type Reader struct {
-	r    io.ReaderAt
-	c    io.Closer // set by OpenFile
-	dir  []dirEntry
-	buf  []byte            // reused payload buffer
-	refs []demand.ClickRef // reused decode batch
+	r        io.ReaderAt
+	c        io.Closer // set by OpenFile
+	dir      []dirEntry
+	buf      []byte            // reused payload buffer
+	refs     []demand.ClickRef // reused decode batch
+	hdr      []byte            // reused header-verify scratch
+	salvage  bool              // opened via OpenSalvage: Replay defaults to salvage semantics
+	quarOpen int               // directory entries quarantined at open (salvage only)
 }
 
 // OpenFile opens path as a segment file, validating its framing and
@@ -130,60 +147,105 @@ func OpenFile(path string) (*Reader, error) {
 	return r, nil
 }
 
+// checkHeader validates the 8-byte file magic.
+func checkHeader(ra io.ReaderAt) error {
+	head := make([]byte, headerLen)
+	if _, err := ra.ReadAt(head, 0); err != nil {
+		return fmt.Errorf("seg: read header: %w", err)
+	}
+	if !bytes.Equal(head, []byte(headerMagic)) {
+		return fmt.Errorf("seg: bad header magic")
+	}
+	return nil
+}
+
+// readTrailer parses and validates the fixed trailer, returning the
+// directory location, segment count, and directory checksum.
+func readTrailer(ra io.ReaderAt, size int64) (dirOff uint64, segCount, dirCRC uint32, err error) {
+	tr := make([]byte, trailerLen)
+	if _, err := ra.ReadAt(tr, size-int64(trailerLen)); err != nil {
+		return 0, 0, 0, fmt.Errorf("seg: read trailer: %w", err)
+	}
+	if !bytes.Equal(tr[16:], []byte(trailerMagic)) {
+		return 0, 0, 0, fmt.Errorf("seg: bad trailer magic")
+	}
+	dirOff = binary.LittleEndian.Uint64(tr[0:])
+	segCount = binary.LittleEndian.Uint32(tr[8:])
+	dirCRC = binary.LittleEndian.Uint32(tr[12:])
+	dirLen := uint64(segCount) * dirEntrySize
+	if dirOff < uint64(headerLen) || dirOff+dirLen != uint64(size)-uint64(trailerLen) {
+		return 0, 0, 0, fmt.Errorf("seg: directory (%d segments at %d) does not fit the file", segCount, dirOff)
+	}
+	return dirOff, segCount, dirCRC, nil
+}
+
+// readDirectory loads the trailer-located footer directory, verifying
+// the directory checksum but not per-entry structure: strict and
+// salvage opens differ in what they do with a structurally-bad entry.
+func readDirectory(ra io.ReaderAt, size int64) ([]dirEntry, uint64, error) {
+	dirOff, segCount, dirCRC, err := readTrailer(ra, size)
+	if err != nil {
+		return nil, 0, err
+	}
+	dirBytes := make([]byte, uint64(segCount)*dirEntrySize)
+	if _, err := ra.ReadAt(dirBytes, int64(dirOff)); err != nil {
+		return nil, 0, fmt.Errorf("seg: read directory: %w", err)
+	}
+	if crc32.ChecksumIEEE(dirBytes) != dirCRC {
+		return nil, 0, fmt.Errorf("seg: directory checksum mismatch")
+	}
+	entries := make([]dirEntry, segCount)
+	for i := range entries {
+		entries[i] = parseDirEntry(dirBytes[i*dirEntrySize:])
+	}
+	return entries, dirOff, nil
+}
+
 // NewReader opens a segment file over any io.ReaderAt of known size —
 // the in-memory face OpenFile wraps.
 func NewReader(ra io.ReaderAt, size int64) (*Reader, error) {
 	if size < int64(headerLen+trailerLen) {
 		return nil, fmt.Errorf("seg: file too short (%d bytes)", size)
 	}
-	head := make([]byte, headerLen)
-	if _, err := ra.ReadAt(head, 0); err != nil {
-		return nil, fmt.Errorf("seg: read header: %w", err)
+	if err := checkHeader(ra); err != nil {
+		return nil, err
 	}
-	if !bytes.Equal(head, []byte(headerMagic)) {
-		return nil, fmt.Errorf("seg: bad header magic")
+	entries, dirOff, err := readDirectory(ra, size)
+	if err != nil {
+		return nil, err
 	}
-	tr := make([]byte, trailerLen)
-	if _, err := ra.ReadAt(tr, size-int64(trailerLen)); err != nil {
-		return nil, fmt.Errorf("seg: read trailer: %w", err)
-	}
-	if !bytes.Equal(tr[16:], []byte(trailerMagic)) {
-		return nil, fmt.Errorf("seg: bad trailer magic")
-	}
-	dirOff := binary.LittleEndian.Uint64(tr[0:])
-	segCount := binary.LittleEndian.Uint32(tr[8:])
-	dirCRC := binary.LittleEndian.Uint32(tr[12:])
-	dirLen := uint64(segCount) * dirEntrySize
-	if dirOff < uint64(headerLen) || dirOff+dirLen != uint64(size)-uint64(trailerLen) {
-		return nil, fmt.Errorf("seg: directory (%d segments at %d) does not fit the file", segCount, dirOff)
-	}
-	dirBytes := make([]byte, dirLen)
-	if _, err := ra.ReadAt(dirBytes, int64(dirOff)); err != nil {
-		return nil, fmt.Errorf("seg: read directory: %w", err)
-	}
-	if crc32.ChecksumIEEE(dirBytes) != dirCRC {
-		return nil, fmt.Errorf("seg: directory checksum mismatch")
-	}
-	r := &Reader{r: ra, dir: make([]dirEntry, segCount)}
-	for i := range r.dir {
-		d := parseDirEntry(dirBytes[i*dirEntrySize:])
-		payload := uint64(d.colLen[0]) + uint64(d.colLen[1]) + uint64(d.colLen[2]) + uint64(d.colLen[3])
-		if d.offset < uint64(headerLen) || d.offset+payload > dirOff {
-			return nil, fmt.Errorf("seg: segment %d payload outside file body", i)
-		}
+	r := &Reader{r: ra, dir: entries}
+	for i, d := range entries {
 		// The packed columns are rows×width bytes for a width within each
-		// column's legal range — anything else is structurally corrupt;
-		// reject it here rather than over-allocating in the decoder.
-		if d.rows == 0 ||
-			!widthOK(d.colLen[0], d.rows, 4) ||
-			!widthOK(d.colLen[1], d.rows, 8) ||
-			!widthOK(d.colLen[2], d.rows, 2) ||
-			d.colLen[3] < 2 {
-			return nil, fmt.Errorf("seg: segment %d row count %d inconsistent with column lengths", i, d.rows)
+		// column's legal range, and the payload (with its inline header)
+		// must sit inside the file body — anything else is structurally
+		// corrupt; reject it here rather than over-allocating in the
+		// decoder.
+		if !entryOK(d, dirOff) {
+			return nil, fmt.Errorf("seg: segment %d structurally invalid", i)
 		}
-		r.dir[i] = d
 	}
 	return r, nil
+}
+
+// payloadLen is a segment's payload byte length (inline header not
+// included).
+func payloadLen(d dirEntry) uint64 {
+	return uint64(d.colLen[0]) + uint64(d.colLen[1]) + uint64(d.colLen[2]) + uint64(d.colLen[3])
+}
+
+// entryOK is the structural validity check for one directory entry
+// against the file region [0, limit): the payload and its inline header
+// fit, and every column length is rows×width for a legal width.
+func entryOK(d dirEntry, limit uint64) bool {
+	payload := payloadLen(d)
+	return d.offset >= uint64(headerLen+segHeaderLen) &&
+		payload <= limit && d.offset <= limit-payload &&
+		d.rows > 0 &&
+		widthOK(d.colLen[0], d.rows, 4) &&
+		widthOK(d.colLen[1], d.rows, 8) &&
+		widthOK(d.colLen[2], d.rows, 2) &&
+		d.colLen[3] >= 2
 }
 
 // Close releases the underlying file when the reader came from
@@ -215,7 +277,16 @@ func (r *Reader) Rows() uint64 {
 // single goroutine; pair it with ShardedAggregator.FeedRefs to fan the
 // fold across shard workers.
 func (r *Reader) Replay(p Predicate, fold func(batch []demand.ClickRef)) (ReplayStats, error) {
-	stats := ReplayStats{Segments: len(r.dir)}
+	return r.ReplayWith(p, ReplayOpts{Salvage: r.salvage}, fold)
+}
+
+// ReplayWith is Replay with explicit failure semantics: strict (the
+// zero ReplayOpts) aborts on the first corrupt segment; Salvage
+// quarantines corrupt segments — skipped and counted, never delivered
+// — and completes the replay over everything that validates. A reader
+// from OpenSalvage defaults to salvage semantics in Replay.
+func (r *Reader) ReplayWith(p Predicate, o ReplayOpts, fold func(batch []demand.ClickRef)) (ReplayStats, error) {
+	stats := ReplayStats{Segments: len(r.dir), Quarantined: r.quarOpen}
 	for i, d := range r.dir {
 		if !p.overlaps(d) {
 			stats.Skipped++
@@ -228,6 +299,11 @@ func (r *Reader) Replay(p Predicate, fold func(batch []demand.ClickRef)) (Replay
 		obsSegDecodeSec.ObserveSince(t0)
 		sp.End()
 		if err != nil {
+			if o.Salvage {
+				stats.Quarantined++
+				obsSegQuarantined.Inc()
+				continue
+			}
 			return stats, err
 		}
 		obsSegScanned.Inc()
@@ -269,16 +345,32 @@ func loadLE(col []byte, off, w int) uint64 {
 }
 
 // readSegment reads and decodes segment i into the reader's reused
-// batch buffer, validating the CRC and exact column framing.
+// batch buffer, validating the inline header against the directory
+// entry, the payload CRC, and the exact column framing.
 func (r *Reader) readSegment(i int, d dirEntry) ([]demand.ClickRef, error) {
-	n := int(uint64(d.colLen[0]) + uint64(d.colLen[1]) + uint64(d.colLen[2]) + uint64(d.colLen[3]))
-	if cap(r.buf) < n {
-		r.buf = make([]byte, n)
-	}
-	buf := r.buf[:n]
-	if _, err := r.r.ReadAt(buf, int64(d.offset)); err != nil {
+	if err := fpRead.Fail(); err != nil {
 		return nil, fmt.Errorf("seg: segment %d: read payload: %w", i, err)
 	}
+	n := int(payloadLen(d))
+	if cap(r.buf) < segHeaderLen+n {
+		r.buf = make([]byte, segHeaderLen+n)
+	}
+	full := r.buf[:segHeaderLen+n]
+	if _, err := r.r.ReadAt(full, int64(d.offset)-int64(segHeaderLen)); err != nil {
+		return nil, fmt.Errorf("seg: segment %d: read payload: %w", i, err)
+	}
+	// The inline header must agree with the entry that located it: the
+	// magic, the byte-identical footer record, and the record CRC. This
+	// puts every header byte under a checksum and catches a directory
+	// that points into the wrong place.
+	hdr := full[:segHeaderLen]
+	r.hdr = appendDirEntry(r.hdr[:0], d)
+	if string(hdr[:len(segMagic)]) != segMagic ||
+		!bytes.Equal(hdr[len(segMagic):len(segMagic)+dirEntrySize], r.hdr) ||
+		binary.LittleEndian.Uint32(hdr[len(segMagic)+dirEntrySize:]) != crc32.ChecksumIEEE(r.hdr) {
+		return nil, fmt.Errorf("seg: segment %d: inline header mismatch", i)
+	}
+	buf := full[segHeaderLen:]
 	if crc32.ChecksumIEEE(buf) != d.crc {
 		return nil, fmt.Errorf("seg: segment %d: payload checksum mismatch", i)
 	}

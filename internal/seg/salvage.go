@@ -1,0 +1,109 @@
+package seg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// OpenSalvage opens path recovering whatever validates instead of
+// demanding a perfect file: the crash-recovery face of the store. Its
+// Reader replays with salvage semantics by default (corrupt segments
+// quarantined, intact ones delivered). Strict OpenFile remains the
+// default for healthy files — salvage is what a CLI or ingest restart
+// reaches for when strict open has already failed.
+func OpenSalvage(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("seg: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("seg: %w", err)
+	}
+	r, err := NewReaderSalvage(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r.c = f
+	return r, nil
+}
+
+// NewReaderSalvage opens a possibly-damaged segment file, recovering
+// the maximal set of segments that validate. Two paths:
+//
+//   - The trailer and directory are intact: the directory is used, and
+//     each structurally-invalid entry is quarantined individually
+//     (counted into ReplayStats.Quarantined) instead of failing the
+//     open — the flipped-footer case.
+//   - The directory is unreadable (crash before Close sealed the
+//     file): a forward scan walks the inline 56-byte segment headers
+//     from the top, accepting segments while the magic, the header
+//     record CRC, the recorded offset, and the structural invariants
+//     all hold, and stopping at the first tear — the torn-tail case.
+//     A crash mid-write thus loses at most the segment being written.
+//
+// Payload checksums are verified lazily at replay time, where salvage
+// semantics quarantine rather than abort; a salvaged batch is never
+// delivered from a segment whose payload CRC does not match. Only a
+// file too short for the 8-byte magic, or carrying the wrong magic, is
+// unrecoverable.
+func NewReaderSalvage(ra io.ReaderAt, size int64) (*Reader, error) {
+	if size < int64(headerLen) {
+		return nil, fmt.Errorf("seg: file too short (%d bytes)", size)
+	}
+	if err := checkHeader(ra); err != nil {
+		return nil, err
+	}
+	r := &Reader{r: ra, salvage: true}
+	if entries, dirOff, err := readDirectory(ra, size); err == nil {
+		for _, d := range entries {
+			if entryOK(d, dirOff) {
+				r.dir = append(r.dir, d)
+			} else {
+				r.quarOpen++
+				obsSegQuarantined.Inc()
+			}
+		}
+		return r, nil
+	}
+	r.dir = scanSegments(ra, size)
+	return r, nil
+}
+
+// scanSegments walks the inline segment headers forward from the file
+// header, returning the longest prefix of structurally-valid segments.
+// Acceptance requires the segment magic, a matching header-record CRC,
+// a recorded payload offset that equals the scan position (a
+// misdirected record is as untrustworthy as a torn one), the structural
+// column invariants, and the payload lying fully inside the file. The
+// first violation ends the scan: past a tear there is no trustworthy
+// framing to resynchronize on.
+func scanSegments(ra io.ReaderAt, size int64) []dirEntry {
+	var dir []dirEntry
+	pos := uint64(headerLen)
+	hdr := make([]byte, segHeaderLen)
+	for pos+uint64(segHeaderLen) <= uint64(size) {
+		if _, err := ra.ReadAt(hdr, int64(pos)); err != nil {
+			break
+		}
+		if string(hdr[:len(segMagic)]) != segMagic {
+			break
+		}
+		rec := hdr[len(segMagic) : len(segMagic)+dirEntrySize]
+		if crc32.ChecksumIEEE(rec) != binary.LittleEndian.Uint32(hdr[len(segMagic)+dirEntrySize:]) {
+			break
+		}
+		d := parseDirEntry(rec)
+		if d.offset != pos+uint64(segHeaderLen) || !entryOK(d, uint64(size)) {
+			break
+		}
+		dir = append(dir, d)
+		pos = d.offset + payloadLen(d)
+	}
+	return dir
+}

@@ -35,6 +35,16 @@
 // their unsigned width), and decoding validates section boundaries and
 // CRCs so truncated or corrupt files are rejected with an error, never
 // a panic or a silently short stream.
+//
+// Format v2 makes every segment self-framing: each payload is preceded
+// by a 56-byte header — segment magic, the same 48-byte footer record
+// the directory repeats, and a CRC of that record — so a file whose
+// directory was lost to a crash mid-write can still be recovered by a
+// forward scan (OpenSalvage) that accepts exactly the prefix of
+// segments whose framing and payload CRCs validate. Strict readers
+// verify the inline header against the directory entry before trusting
+// a payload, closing the gap where header bytes would otherwise be
+// outside any checksum.
 package seg
 
 import (
@@ -44,16 +54,32 @@ import (
 	"io"
 
 	"repro/internal/demand"
+	"repro/internal/fail"
 )
 
 // Format framing constants. The header magic doubles as the format
 // sniff for clicklog's input auto-detection; bump the version byte on
 // any incompatible layout change.
 const (
-	headerMagic  = "CSEGv1\r\n"
+	headerMagic  = "CSEGv2\r\n"
 	trailerMagic = "CSEGend\n"
 	headerLen    = len(headerMagic)
 	trailerLen   = 8 + 4 + 4 + len(trailerMagic) // dirOff, segCount, dirCRC, magic
+
+	// Per-segment inline header: magic, the dirEntry record, a CRC of
+	// that record. dirEntry.offset points at the payload, i.e. just
+	// past this header.
+	segMagic     = "SEG!"
+	segHeaderLen = len(segMagic) + dirEntrySize + 4
+)
+
+// Failpoints at the store's I/O boundaries: seg/write fires inside the
+// writer's every write (short-write arming produces exactly the torn
+// file salvage recovery defends against); seg/read fires before each
+// segment payload read.
+var (
+	fpWrite = fail.Register("seg/write")
+	fpRead  = fail.Register("seg/read")
 )
 
 // HeaderMagic exposes the 8-byte file magic for format sniffing.
@@ -166,18 +192,26 @@ func NewWriter(w io.Writer, segmentRows int) *Writer {
 }
 
 // write appends b to the underlying writer, tracking the file offset
-// and making any error sticky.
+// and making any error sticky. The seg/write failpoint wraps the write
+// so tests can inject torn (short) writes and I/O errors.
 func (w *Writer) write(b []byte) error {
 	if w.err != nil {
 		return w.err
 	}
-	if _, err := w.w.Write(b); err != nil {
+	n, err := fpWrite.WriteThrough(w.w, b)
+	w.off += uint64(n)
+	if err != nil {
 		w.err = fmt.Errorf("seg: write: %w", err)
 		return w.err
 	}
-	w.off += uint64(len(b))
 	return nil
 }
+
+// batchSyncer is the durability hook an underlying writer may expose
+// (fsx.AtomicFile does): the segment writer calls it after each flushed
+// segment, so an fsync-always policy bounds loss to one segment without
+// the writer knowing which policy is active.
+type batchSyncer interface{ BatchSync() error }
 
 // Add buffers one ref, flushing a full segment to the file.
 func (w *Writer) Add(r demand.ClickRef) error {
@@ -213,7 +247,7 @@ func (w *Writer) flushSegment() error {
 		}
 		w.started = true
 	}
-	d := dirEntry{offset: w.off, rows: uint32(len(w.rows))}
+	d := dirEntry{offset: w.off + uint64(segHeaderLen), rows: uint32(len(w.rows))}
 	first := w.rows[0]
 	d.entMin, d.entMax = first.Entity, first.Entity
 	d.dayMin, d.dayMax = first.Day, first.Day
@@ -273,11 +307,26 @@ func (w *Writer) flushSegment() error {
 	d.crc = crc32.ChecksumIEEE(e)
 	w.enc = e
 
+	// Inline self-framing header: magic, the footer record, its CRC —
+	// what a directory-less salvage scan walks.
+	hdr := make([]byte, 0, segHeaderLen)
+	hdr = append(hdr, segMagic...)
+	hdr = appendDirEntry(hdr, d)
+	hdr = binary.LittleEndian.AppendUint32(hdr, crc32.ChecksumIEEE(hdr[len(segMagic):]))
+	if err := w.write(hdr); err != nil {
+		return err
+	}
 	if err := w.write(e); err != nil {
 		return err
 	}
 	w.dir = append(w.dir, d)
 	w.rows = w.rows[:0]
+	if bs, ok := w.w.(batchSyncer); ok {
+		if err := bs.BatchSync(); err != nil {
+			w.err = fmt.Errorf("seg: sync: %w", err)
+			return w.err
+		}
+	}
 	return nil
 }
 

@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit-breaker automaton.
+type breakerState uint8
+
+const (
+	breakerClosed   breakerState = iota // builds flow; counting consecutive failures
+	breakerOpen                         // builds rejected until the cooldown passes
+	breakerHalfOpen                     // one probe build admitted; its outcome decides
+)
+
+// breaker is a per-study circuit breaker around cold builds. Its job is
+// narrow: when a study's builds fail repeatedly (corrupt input, injected
+// fault, resource exhaustion), stop burning a full build per request and
+// fail fast — serving the stale body when one exists — until a cooldown
+// passes, then admit exactly one probe build to test recovery.
+//
+// Only real build outcomes feed the breaker: coalesced waiters sharing a
+// singleflight build don't record, and neither do requests answered from
+// the body cache, the negative cache, or the stale store. "threshold
+// consecutive failures" therefore means distinct failed build attempts,
+// however many requests each one disappointed.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // tests override; nil never occurs (newBreaker sets it)
+
+	state    breakerState
+	failures int // consecutive failures while closed
+	openedAt time.Time
+	probing  bool // halfOpen: the single probe slot is taken
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// allow reports whether a cold build may start now. When it refuses, the
+// second return is how long until the next probe would be admitted — the
+// Retry-After hint. An open breaker past its cooldown transitions to
+// half-open and admits the caller as the single probe.
+func (b *breaker) allow() (bool, time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, 0
+	case breakerOpen:
+		wait := b.cooldown - b.now().Sub(b.openedAt)
+		if wait > 0 {
+			return false, wait
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true, 0
+	default: // breakerHalfOpen
+		if b.probing {
+			return false, b.cooldown
+		}
+		b.probing = true
+		return true, 0
+	}
+}
+
+// record reports the outcome of a build admitted by allow. Success from
+// any state closes the circuit and zeroes the failure count; a failed
+// half-open probe reopens it for a fresh cooldown; failures while closed
+// accumulate until threshold opens it.
+func (b *breaker) record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.state = breakerClosed
+		b.failures = 0
+		b.probing = false
+		return
+	}
+	switch b.state {
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = b.now()
+		b.probing = false
+	case breakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = b.now()
+		}
+	default:
+		// Already open: a straggler build (admitted before the trip)
+		// failing late neither extends nor restarts the cooldown.
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"net/url"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/memo"
@@ -89,14 +90,54 @@ type body struct {
 	etag        string
 }
 
-// studyEntry pairs a cached Study with its response-body cache. Both
-// caches coalesce duplicate concurrent builds (memo singleflight), and
-// both are dropped together when the LRU evicts the entry.
+// studyEntry pairs a cached Study with its response-body cache and the
+// circuit breaker guarding its cold builds. Both caches coalesce
+// duplicate concurrent builds (memo singleflight), and all three are
+// dropped together when the LRU evicts the entry — an evicted study's
+// breaker state (and failure count) is forgotten with it, while its
+// last good bodies live on in the server-level stale store.
 type studyEntry struct {
-	key    StudyKey
-	cfg    core.Config
-	study  *core.Study
-	bodies memo.Map[bodyKey, *body]
+	key     StudyKey
+	cfg     core.Config
+	study   *core.Study
+	bodies  memo.Map[bodyKey, *body]
+	breaker *breaker
+}
+
+// staleKey identifies one retained body in the stale store: a study
+// configuration plus the (endpoint, format) within it.
+type staleKey struct {
+	study StudyKey
+	body  bodyKey
+}
+
+// staleStore retains the last successfully built body per (study,
+// endpoint, format), outliving the study LRU: it is the fallback the
+// stale-while-error path serves when a rebuild after eviction (or
+// Forget) fails. Because every body is a pure function of its config,
+// a "stale" body is byte-identical to what the failed rebuild would
+// have produced — staleness here means "built in an earlier epoch",
+// not "out of date". Growth is bounded by the set of configurations
+// ever served times the endpoint/format vocabulary.
+type staleStore struct {
+	mu sync.Mutex
+	m  map[staleKey]*body
+}
+
+func (st *staleStore) put(k staleKey, b *body) {
+	st.mu.Lock()
+	if st.m == nil {
+		st.m = make(map[staleKey]*body)
+	}
+	st.m[k] = b
+	st.mu.Unlock()
+}
+
+func (st *staleStore) get(k staleKey) (*body, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	b, ok := st.m[k]
+	return b, ok
 }
 
 // studyCache is a bounded LRU of study entries. Creating an entry is
@@ -107,20 +148,24 @@ type studyEntry struct {
 // requests is safe: those requests keep their pointer and the entry is
 // garbage-collected when they finish.
 type studyCache struct {
-	mu        sync.Mutex
-	capacity  int
-	workers   int
-	ll        *list.List // *studyEntry values; front = most recently used
-	entries   map[StudyKey]*list.Element
-	evictions int
+	mu          sync.Mutex
+	capacity    int
+	workers     int
+	brThreshold int
+	brCooldown  time.Duration
+	ll          *list.List // *studyEntry values; front = most recently used
+	entries     map[StudyKey]*list.Element
+	evictions   int
 }
 
-func newStudyCache(capacity, workers int) *studyCache {
+func newStudyCache(capacity, workers, brThreshold int, brCooldown time.Duration) *studyCache {
 	return &studyCache{
-		capacity: capacity,
-		workers:  workers,
-		ll:       list.New(),
-		entries:  make(map[StudyKey]*list.Element),
+		capacity:    capacity,
+		workers:     workers,
+		brThreshold: brThreshold,
+		brCooldown:  brCooldown,
+		ll:          list.New(),
+		entries:     make(map[StudyKey]*list.Element),
 	}
 }
 
@@ -134,7 +179,12 @@ func (c *studyCache) get(key StudyKey) *studyEntry {
 		return el.Value.(*studyEntry)
 	}
 	cfg := configFor(key, c.workers)
-	e := &studyEntry{key: key, cfg: cfg, study: core.NewStudy(cfg)}
+	e := &studyEntry{
+		key:     key,
+		cfg:     cfg,
+		study:   core.NewStudy(cfg),
+		breaker: newBreaker(c.brThreshold, c.brCooldown),
+	}
 	c.entries[key] = c.ll.PushFront(e)
 	for c.ll.Len() > c.capacity {
 		oldest := c.ll.Back()

@@ -3,6 +3,7 @@ package serve
 import (
 	"net/url"
 	"testing"
+	"time"
 )
 
 func TestParseStudyKeyDefaults(t *testing.T) {
@@ -46,7 +47,7 @@ func TestConfigForScales(t *testing.T) {
 }
 
 func TestStudyCacheLRU(t *testing.T) {
-	c := newStudyCache(2, 0)
+	c := newStudyCache(2, 0, 3, time.Second)
 	k1 := StudyKey{Scale: "small", Seed: 1}
 	k2 := StudyKey{Scale: "small", Seed: 2}
 	k3 := StudyKey{Scale: "small", Seed: 3}

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/entity"
+	"repro/internal/fail"
 	"repro/internal/logs"
 	"repro/internal/obs"
 	"repro/internal/report"
@@ -22,6 +23,16 @@ import (
 const (
 	ctJSON = "application/json; charset=utf-8"
 	ctCSV  = "text/csv; charset=utf-8"
+)
+
+// Failpoints at the serving layer's two trust boundaries: fpHandler
+// fires inside every instrumented endpoint (an armed panic exercises
+// Recover end to end), fpColdBuild fires inside the body builder —
+// the exact fault the retry policy, circuit breaker and stale store
+// exist to absorb.
+var (
+	fpHandler   = fail.Register("serve/handler")
+	fpColdBuild = fail.Register("serve/coldbuild")
 )
 
 // Handler returns the server's routed and middleware-wrapped handler.
@@ -54,16 +65,29 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 		}
 		sw := &statusWriter{ResponseWriter: w}
 		t0 := time.Now()
-		h(sw, r)
+		if err := fpHandler.Fail(); err != nil {
+			writeError(sw, http.StatusInternalServerError, "%v", err)
+		} else {
+			h(sw, r)
+		}
 		s.metrics.observe(endpoint, sw.wroteStatus(), time.Since(t0))
 	})
 }
 
-// writeError emits a JSON error document.
+// ErrorWire is the structured envelope every error response carries:
+// a human-readable message plus the status echoed into the body, so a
+// client that lost the status line (proxy rewrites, logged bodies) can
+// still classify the failure.
+type ErrorWire struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+// writeError emits the JSON error envelope.
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	w.Header().Set("Content-Type", ctJSON)
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	_ = json.NewEncoder(w).Encode(ErrorWire{Error: fmt.Sprintf(format, args...), Status: status})
 }
 
 // writeBuildError maps a failure to a status: timeout budget exhausted
@@ -94,11 +118,43 @@ func parseFormat(r *http.Request, supported ...string) (string, error) {
 	return "", fmt.Errorf("unsupported format %q (supported: %v)", f, supported)
 }
 
+// retryAfterSeconds renders a wait as a Retry-After header value:
+// whole seconds, rounded up, at least 1.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprintf("%d", secs)
+}
+
+// writeStale serves a retained last-good body in place of a failed
+// rebuild. It carries the normal success headers — the body is
+// deterministic, so the config-derived ETag is still the truth and a
+// later revalidation correctly 304s — plus the RFC 7234 staleness
+// warning that tells caches and clients the origin could not rebuild.
+func (s *Server) writeStale(w http.ResponseWriter, b *body, cfg core.Config) {
+	s.cStale.Inc()
+	h := w.Header()
+	h.Set("ETag", b.etag)
+	h.Set("X-Config-Hash", cfg.Hash())
+	h.Set("Content-Type", b.contentType)
+	h.Set("Warning", `110 - "response is stale"`)
+	_, _ = w.Write(b.data)
+}
+
 // serveCached is the shared path of every study-backed endpoint: parse
 // the study key, answer If-None-Match revalidations 304 straight from
 // the deterministic ETag (no study or body is touched), otherwise serve
 // the response body from the per-(study, endpoint, format) cache,
 // building it at most once however many requests race.
+//
+// The failure path degrades in order of preference: a failed build is
+// retried per s.opts.Retry; a build that still fails is answered with
+// the stale store's last good body (Warning: 110) when one exists;
+// repeated failures open the study's circuit breaker, which
+// short-circuits cold builds to the stale body or a 503 with
+// Retry-After until a cooldown admits a probe.
 func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, format string,
 	build func(ctx context.Context, e *studyEntry) ([]byte, string, error)) {
 
@@ -119,6 +175,25 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, f
 		return
 	}
 	e := s.cache.get(key)
+	bk := bodyKey{endpoint: endpoint, format: format}
+	sk := staleKey{study: key, body: bk}
+
+	// Breaker gate: only a cold build consults the circuit. A committed
+	// body serves regardless of breaker state — degradation never takes
+	// away what is already built.
+	if _, ok := e.bodies.Cached(bk); !ok {
+		if ok, wait := e.breaker.allow(); !ok {
+			s.cBreakerOpen.Inc()
+			if st, found := s.stale.get(sk); found {
+				s.writeStale(w, st, cfg)
+				return
+			}
+			w.Header().Set("Retry-After", retryAfterSeconds(wait))
+			writeError(w, http.StatusServiceUnavailable,
+				"study %s unavailable: cold builds suspended after repeated failures", key)
+			return
+		}
+	}
 	// The build runs on a context detached from this request, budgeted
 	// by the server's own timeout: coalesced waiters share one build
 	// through the memo layer, so one client's disconnect must not
@@ -132,7 +207,12 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, f
 	}
 	done := make(chan outcome, 1)
 	go func() {
-		b, err := e.bodies.Get(bodyKey{endpoint: endpoint, format: format}, func() (*body, error) {
+		attempted := false
+		b, err := e.bodies.GetRetry(bk, func() (*body, error) {
+			attempted = true
+			if ferr := fpColdBuild.Fail(); ferr != nil {
+				return nil, ferr
+			}
 			ctx, cancel := context.WithTimeout(context.Background(), s.opts.Timeout)
 			defer cancel()
 			data, contentType, err := build(ctx, e)
@@ -140,12 +220,26 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, f
 				return nil, err
 			}
 			return &body{data: data, contentType: contentType, etag: etag}, nil
-		})
+		}, s.opts.Retry)
+		// Only a real build attempt feeds the breaker — not cache hits,
+		// coalesced waits or negative-cache answers — and it is recorded
+		// here, in the detached goroutine, so a request that abandons
+		// the select below still reports its build's fate.
+		if attempted {
+			e.breaker.record(err == nil)
+		}
+		if err == nil {
+			s.stale.put(sk, b)
+		}
 		done <- outcome{b, err}
 	}()
 	select {
 	case out := <-done:
 		if out.err != nil {
+			if st, found := s.stale.get(sk); found {
+				s.writeStale(w, st, cfg)
+				return
+			}
 			writeBuildError(w, out.err)
 			return
 		}

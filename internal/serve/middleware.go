@@ -70,14 +70,17 @@ func AccessLog(log *slog.Logger) Middleware {
 	}
 }
 
-// Recover turns handler panics into 500s instead of torn connections.
+// Recover turns handler panics into structured 500s instead of torn
+// connections. If the handler already wrote headers the envelope may be
+// appended to a partial body — unavoidable, and still better than a
+// reset stream.
 func Recover(log *slog.Logger) Middleware {
 	return func(next http.Handler) http.Handler {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			defer func() {
 				if v := recover(); v != nil {
 					log.Error("panic", "path", r.URL.Path, "value", v)
-					http.Error(w, "internal server error", http.StatusInternalServerError)
+					writeError(w, http.StatusInternalServerError, "internal server error")
 				}
 			}()
 			next.ServeHTTP(w, r)
@@ -99,7 +102,12 @@ func Limit(n int) Middleware {
 				defer func() { <-slots }()
 				next.ServeHTTP(w, r)
 			case <-r.Context().Done():
-				http.Error(w, "server overloaded", http.StatusServiceUnavailable)
+				// Shed with a retry hint: the pool being full is
+				// transient by construction, so tell well-behaved
+				// clients when to come back instead of letting them
+				// hammer a saturated server.
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusServiceUnavailable, "server overloaded")
 			}
 		})
 	}

@@ -22,6 +22,20 @@
 // Production middleware bounds in-flight concurrency, enforces
 // per-request timeouts via context, recovers panics, and emits
 // structured access logs; Shutdown drains in-flight requests.
+//
+// # Graceful degradation
+//
+// Determinism also powers the failure path. Cold builds run under a
+// retry policy (Options.Retry) and, per study, behind a circuit
+// breaker: after BreakerThreshold consecutive failed builds the study's
+// circuit opens and cold builds are refused for BreakerCooldown, then a
+// single probe build tests recovery. Every successful body is also
+// copied into a server-level stale store that survives LRU eviction;
+// when a rebuild fails (or the circuit is open) the last good body is
+// served with `Warning: 110 - "response is stale"` instead of an error
+// — sound, because the body is a pure function of the config, so the
+// stale bytes equal what the failed rebuild would have produced.
+// Requests shed without a stale fallback carry Retry-After.
 package serve
 
 import (
@@ -31,6 +45,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/memo"
 	"repro/internal/obs"
 	// Linked for its metric registrations only: segment replay counters
 	// must appear on /metrics (as zeros until a replay runs) even though
@@ -57,6 +72,17 @@ type Options struct {
 	// Logger receives structured access and error logs
 	// (nil: slog.Default()).
 	Logger *slog.Logger
+	// Retry governs cold body builds: attempts, backoff and the
+	// negative-cache TTL that stops a known-bad build from being retried
+	// per request. A zero policy (Attempts <= 0) takes the production
+	// default: 2 attempts, 25ms base backoff capped at 1s, 1s error TTL.
+	Retry memo.Policy
+	// BreakerThreshold consecutive failed cold builds open a study's
+	// circuit (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit refuses cold builds
+	// before admitting a single probe (default 5s).
+	BreakerCooldown time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -72,6 +98,20 @@ func (o Options) withDefaults() Options {
 	if o.Logger == nil {
 		o.Logger = slog.Default()
 	}
+	if o.Retry.Attempts <= 0 {
+		o.Retry = memo.Policy{
+			Attempts:  2,
+			BaseDelay: 25 * time.Millisecond,
+			MaxDelay:  time.Second,
+			ErrTTL:    time.Second,
+		}
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 3
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 5 * time.Second
+	}
 	return o
 }
 
@@ -81,9 +121,15 @@ type Server struct {
 	opts    Options
 	log     *slog.Logger
 	cache   *studyCache
+	stale   staleStore
 	metrics *metrics
 	start   time.Time
 	httpSrv *http.Server
+
+	// Degradation counters: stale bodies served in place of a failed
+	// rebuild, and requests short-circuited by an open breaker.
+	cStale       *obs.Counter
+	cBreakerOpen *obs.Counter
 
 	// Scrape-time serve-level gauges on the server's own registry
 	// (demand/seg/core metrics live on obs.Default; /metrics renders
@@ -105,9 +151,13 @@ func New(opts Options) *Server {
 	s := &Server{
 		opts:    opts,
 		log:     opts.Logger,
-		cache:   newStudyCache(opts.Studies, opts.Workers),
+		cache:   newStudyCache(opts.Studies, opts.Workers, opts.BreakerThreshold, opts.BreakerCooldown),
 		metrics: newMetrics(reg),
 		start:   time.Now(),
+		cStale: reg.Counter("repro_serve_stale_total",
+			"Stale bodies served in place of a failed or circuit-broken rebuild"),
+		cBreakerOpen: reg.Counter("repro_serve_breaker_open_total",
+			"Requests refused a cold build by an open per-study circuit breaker"),
 		gCachedStudies: reg.Gauge("repro_serve_cached_studies",
 			"Study configurations currently warm in the LRU"),
 		gEvictions: reg.Gauge("repro_serve_study_evictions",
