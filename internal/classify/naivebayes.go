@@ -223,12 +223,16 @@ type Scorer struct {
 }
 
 // Reset clears accumulated state so the scorer can score a new document.
+//
+//repro:noalloc
 func (s *Scorer) Reset() {
 	s.sum = 0
 	s.tok = s.tok[:0]
 }
 
 // Write feeds text bytes. Tokens may span Write boundaries.
+//
+//repro:noalloc
 func (s *Scorer) Write(p []byte) {
 	for i := 0; i < len(p); i++ {
 		s.writeByte(p[i])
@@ -265,6 +269,8 @@ func (s *Scorer) flush() {
 // LogOdds finalizes any pending token and returns the accumulated
 // log-odds including the class prior. The scorer remains usable: more
 // writes continue the same document (the finalize acts as a separator).
+//
+//repro:noalloc
 func (s *Scorer) LogOdds() float64 {
 	s.flush()
 	return s.t.prior + s.sum

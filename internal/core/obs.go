@@ -37,7 +37,7 @@ func buildHist(class string) *obs.Histogram {
 // timeBuild wraps a memoized build body with its class histogram and
 // span; use as `defer timeBuild(obsBuildWeb, spanBuildWeb)()`.
 func timeBuild(h *obs.Histogram, k *obs.SpanKind) func() {
-	t0 := time.Now()
+	t0 := time.Now() //repro:nondeterm-ok build-latency telemetry only, never reaches result bytes
 	sp := k.Start()
 	return func() {
 		sp.End()

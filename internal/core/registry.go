@@ -248,7 +248,7 @@ func (s *Study) RunAll(ctx context.Context, workers int) (*RunReport, error) {
 // RunExperiments runs the named subset of the registry concurrently;
 // see RunAll.
 func (s *Study) RunExperiments(ctx context.Context, ids []string, workers int) (*RunReport, error) {
-	start := time.Now()
+	start := time.Now() //repro:nondeterm-ok run-report wall time, reported beside results, never in them
 	exps := make([]Experiment, len(ids))
 	for i, id := range ids {
 		e, ok := LookupExperiment(id)
@@ -280,26 +280,26 @@ func (s *Study) RunExperiments(ctx context.Context, ids []string, workers int) (
 		timings[i].Name = a.Name // named even if cancellation skips the build
 	}
 	runPool(ctx, workers, len(artifacts), func(i int) {
-		t0 := time.Now()
+		t0 := time.Now() //repro:nondeterm-ok artifact build timing telemetry
 		sp := obs.StartSpan("artifact/" + artifacts[i].Name)
 		// Build errors surface again (memoized-retry) in phase 2 via the
 		// experiment that needs the artifact, with experiment attribution.
 		_ = artifacts[i].Build(s)
 		sp.End()
-		timings[i].Elapsed = time.Since(t0)
+		timings[i].Elapsed = time.Since(t0) //repro:nondeterm-ok artifact build timing telemetry
 	})
 	report.Artifacts = timings
 
 	// Phase 2: run the experiment analyses (cheap once artifacts exist,
 	// but still fanned out — e.g. Table 2's exact diameters dominate).
 	runPool(ctx, workers, len(exps), func(i int) {
-		t0 := time.Now()
+		t0 := time.Now() //repro:nondeterm-ok experiment timing telemetry
 		sp := obs.StartSpan("experiment/" + exps[i].ID)
 		v, err := exps[i].Run(s)
 		sp.End()
 		report.Results[i] = RunResult{
 			ID: exps[i].ID, Title: exps[i].Title,
-			Value: v, Err: err, Elapsed: time.Since(t0),
+			Value: v, Err: err, Elapsed: time.Since(t0), //repro:nondeterm-ok experiment timing telemetry
 		}
 	})
 	for i := range report.Results {
@@ -307,7 +307,7 @@ func (s *Study) RunExperiments(ctx context.Context, ids []string, workers int) (
 			report.Results[i] = RunResult{ID: exps[i].ID, Title: exps[i].Title, Err: ctx.Err()}
 		}
 	}
-	report.Elapsed = time.Since(start)
+	report.Elapsed = time.Since(start) //repro:nondeterm-ok run-report wall time, reported beside results, never in them
 	if err := ctx.Err(); err != nil {
 		return report, err
 	}

@@ -73,6 +73,8 @@ type foldScratch struct {
 // Like AddRef it is not safe for concurrent use on one Aggregator;
 // each shard worker owns its aggregator and folds alone. The batch
 // slice is read-only to the fold and never retained.
+//
+//repro:noalloc
 func (a *Aggregator) FoldBatch(batch []ClickRef) {
 	n := len(a.perSrc[0].visits)
 	if n == 0 || len(batch) == 0 {
@@ -82,20 +84,20 @@ func (a *Aggregator) FoldBatch(batch []ClickRef) {
 	// adds per batch (~4K refs), not per ref. Explicit at both exits
 	// rather than deferred — a defer closure would capture and cost on
 	// the hot path.
-	t0 := time.Now()
+	t0 := time.Now() //repro:nondeterm-ok per-batch fold-latency telemetry; fold results depend only on the refs
 	nb := (n + foldBlockSize - 1) >> foldBlockShift
 	keys := numSources * nb
 	s := &a.scratch
 	if len(s.ends) < keys {
-		s.ends = make([]int32, keys)
+		s.ends = make([]int32, keys) //repro:alloc-ok scratch grows to the high-water mark once; steady state reuses it
 	}
 	if cap(s.refs) < len(batch) {
-		s.refs = make([]ClickRef, len(batch))
-		s.keys = make([]int32, len(batch))
+		s.refs = make([]ClickRef, len(batch)) //repro:alloc-ok scratch grows to the high-water mark once; steady state reuses it
+		s.keys = make([]int32, len(batch))    //repro:alloc-ok scratch grows to the high-water mark once; steady state reuses it
 	}
 	if s.delta == nil {
-		s.delta = make([]int32, foldBlockSize)
-		s.touched = make([]int32, 0, foldBlockSize)
+		s.delta = make([]int32, foldBlockSize)      //repro:alloc-ok one-time lazy scratch init, constant-sized
+		s.touched = make([]int32, 0, foldBlockSize) //repro:alloc-ok one-time lazy scratch init, constant-sized
 	}
 	ends := s.ends[:keys]
 	for k := range ends {
@@ -161,7 +163,7 @@ func (a *Aggregator) FoldBatch(batch []ClickRef) {
 		for _, r := range span {
 			e := r.Entity & (foldBlockSize - 1)
 			if delta[e] == 0 {
-				touched = append(touched, e)
+				touched = append(touched, e) //repro:alloc-ok at most foldBlockSize distinct entries; scratch carries that capacity
 			}
 			delta[e]++
 		}

@@ -110,8 +110,8 @@ func runGenerators(cat *Catalog, cfg SimConfig, p PipelineConfig, stop *atomic.B
 				if stop != nil && stop.Load() {
 					continue
 				}
-				t0 := time.Now()
-				span := spanGenWindow.StartT(worker)
+				t0 := time.Now()                     //repro:nondeterm-ok per-window generation-latency telemetry
+				span := spanGenWindow.StartT(worker) //repro:obs-ok one span per generated window (~Window refs), not per ref
 				sp := samplers[gw.source]
 				gen := func(emit func(ClickRef) bool) {
 					sp.generateRefs(gw.lo, gw.hi, emit)
@@ -136,7 +136,7 @@ func runGenerators(cat *Catalog, cfg SimConfig, p PipelineConfig, stop *atomic.B
 				handle(gw, gen)
 				span.End()
 				obsGenWindowSec.ObserveSince(t0)
-				obsGenWindows.Inc()
+				obsGenWindows.Inc() //repro:obs-ok one increment per generated window, not per ref
 			}
 		}(w)
 	}

@@ -300,6 +300,8 @@ func newAggregator(byKey, byURL map[string]int, site logs.Site, n int) *Aggregat
 // index into the per-entity columns, no parsing, no hashing of
 // strings. Refs with out-of-range fields are ignored like foreign
 // clicks. For batched streams FoldBatch is the faster equivalent.
+//
+//repro:noalloc
 func (a *Aggregator) AddRef(r ClickRef) {
 	if int(r.Src) >= numSources {
 		return

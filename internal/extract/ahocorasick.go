@@ -17,9 +17,9 @@ import (
 // "every other byte"), so a database-sized automaton (tens of thousands
 // of phone renderings) costs tens of bytes per state instead of 1 KiB.
 type AhoCorasick struct {
-	stride int          // classes per state (distinct pattern bytes + 1)
-	class  [256]uint8   // byte -> class; 0 = not in any pattern
-	next   []int32      // state*stride + class -> state
+	stride int        // classes per state (distinct pattern bytes + 1)
+	class  [256]uint8 // byte -> class; 0 = not in any pattern
+	next   []int32    // state*stride + class -> state
 	fail   []int32
 	out    [][]int32 // pattern indices terminating at each state
 	pats   []string

@@ -98,6 +98,8 @@ func (x *Extractor) NewSession() (*Session, error) {
 // matched against the database over rendered page text, homepages from
 // anchor hrefs, and — when a classifier is present — a review mention
 // per phone-matched entity on positively classified pages.
+//
+//repro:noalloc
 func (s *Session) Page(html []byte) []Mention {
 	s.gen++
 	if s.gen == 0 { // uint64 wrap: clear stale marks, then restart at 1
@@ -129,21 +131,21 @@ func (s *Session) Page(html []byte) []Mention {
 				continue
 			}
 			s.seenKey[c.id] = s.gen
-			s.mentions = append(s.mentions, Mention{EntityID: c.id, Attr: entity.AttrISBN})
+			s.mentions = append(s.mentions, Mention{EntityID: c.id, Attr: entity.AttrISBN}) //repro:alloc-ok mentions keeps its steady-state capacity across pages
 		}
 		return s.mentions
 	}
 
 	for _, id := range s.phoneIDs {
-		s.mentions = append(s.mentions, Mention{EntityID: id, Attr: entity.AttrPhone})
+		s.mentions = append(s.mentions, Mention{EntityID: id, Attr: entity.AttrPhone}) //repro:alloc-ok mentions keeps its steady-state capacity across pages
 	}
 	for _, id := range s.homeIDs {
-		s.mentions = append(s.mentions, Mention{EntityID: id, Attr: entity.AttrHomepage})
+		s.mentions = append(s.mentions, Mention{EntityID: id, Attr: entity.AttrHomepage}) //repro:alloc-ok mentions keeps its steady-state capacity across pages
 	}
 	if s.x.reviewAttr && s.scorer != nil && len(s.phoneIDs) > 0 {
 		if s.scorer.LogOdds() > 0 {
 			for _, id := range s.phoneIDs {
-				s.mentions = append(s.mentions, Mention{EntityID: id, Attr: entity.AttrReview})
+				s.mentions = append(s.mentions, Mention{EntityID: id, Attr: entity.AttrReview}) //repro:alloc-ok mentions keeps its steady-state capacity across pages
 			}
 		}
 	}

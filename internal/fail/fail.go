@@ -243,7 +243,7 @@ func ParseAction(s string) (Action, error) {
 
 // Register interns (get-or-create) the named site and applies any
 // pending environment arming. Call it once per site from a package
-//-level var at the instrumentation point.
+// -level var at the instrumentation point.
 func Register(name string) *Point {
 	registry.Lock()
 	defer registry.Unlock()
@@ -388,6 +388,8 @@ func (p *Point) count() {
 // evaluation; otherwise it sleeps (Sleep, returning nil), panics
 // (Panic), or returns the armed error (Error and ShortWrite). Disabled
 // cost is one atomic load and zero allocations.
+//
+//repro:noalloc
 func (p *Point) Fail() error {
 	a, ok := p.eval()
 	if !ok {
@@ -398,7 +400,7 @@ func (p *Point) Fail() error {
 		time.Sleep(a.Delay)
 		return nil
 	case Panic:
-		panic("fail: injected panic at " + p.name)
+		panic("fail: injected panic at " + p.name) //repro:alloc-ok panic path; the zero-alloc contract covers disarmed and error paths
 	default:
 		if a.Err != nil {
 			return a.Err

@@ -23,6 +23,8 @@ var namedEntities = map[string]rune{
 // literal characters. Numeric references (&#123; and &#x1F;) and the
 // common named references are decoded; malformed or unknown references
 // are left untouched. The function allocates only when s contains '&'.
+//
+//repro:noalloc
 func DecodeEntities(s string) string {
 	amp := strings.IndexByte(s, '&')
 	if amp < 0 {

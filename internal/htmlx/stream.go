@@ -32,6 +32,8 @@ type span struct{ lo, hi int }
 // FuzzStreamVsParse: joining the onText runs with single spaces and
 // collapsing whitespace yields Parse(src).Text(), and the trimmed
 // non-empty onAnchor values are exactly Parse(src).Anchors().
+//
+//repro:noalloc
 func (st *Streamer) Stream(src []byte, onText, onAnchor func([]byte)) {
 	st.stack = st.stack[:0]
 	rawDepth := 0 // open script/style elements on the stack

@@ -1,0 +1,36 @@
+package lint
+
+import (
+	"go/token"
+)
+
+// RepoResult is the outcome of a whole-repo run: every diagnostic from
+// every analyzer, including the cross-package failpoint uniqueness
+// check that per-package vet units cannot perform.
+type RepoResult struct {
+	Fset  *token.FileSet
+	Diags []Diagnostic
+}
+
+// RunRepo loads the module rooted at dir with `go list`, typechecks the
+// packages matched by patterns from source, and runs the full analyzer
+// suite over each — reprolint's standalone mode and the engine behind
+// the clean-tree cross-check test.
+func RunRepo(dir string, patterns ...string) (*RepoResult, error) {
+	w, err := LoadRepo(dir, patterns, false)
+	if err != nil {
+		return nil, err
+	}
+	res := &RepoResult{Fset: w.Fset}
+	perPkg := make(map[string]map[string][]token.Pos)
+	for _, pkg := range w.Packages {
+		diags, failpoints := RunPackage(w.Fset, pkg.Files, pkg.Types, pkg.Info, Analyzers())
+		res.Diags = append(res.Diags, diags...)
+		if len(failpoints) > 0 {
+			perPkg[pkg.Path] = failpoints
+		}
+	}
+	res.Diags = append(res.Diags, GlobalFailpointDiags(w.Fset, perPkg)...)
+	sortDiags(w.Fset, res.Diags)
+	return res, nil
+}

@@ -1,0 +1,222 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// determinismPkgs are the base names of the determinism-critical
+// packages: everything whose output is pinned by golden SHA-256 stream
+// snapshots, byte-identity suites, or config-hash ETags. Wall-clock
+// reads and globally seeded randomness in these packages can silently
+// break bit-reproducibility; map iteration can leak hash-seed order
+// into outputs.
+var determinismPkgs = map[string]bool{
+	"dist":   true,
+	"demand": true,
+	"seg":    true,
+	"core":   true,
+	"logs":   true,
+}
+
+// Determinism flags wall-clock and ambient-randomness escapes in the
+// determinism-critical packages. Timing/observability boundaries are
+// annotated //repro:nondeterm-ok <why> — durations feeding histograms
+// are allowed to be nondeterministic, result bytes are not.
+var Determinism = &Analyzer{
+	Name:  "determinism",
+	Doc:   "flag time.Now, global math/rand, and order-leaking map iteration in determinism-critical packages",
+	Hatch: dirNondetermOK,
+	Run:   runDeterminism,
+}
+
+// seededConstructors are the math/rand entry points that build an
+// explicitly seeded source — fine anywhere, since the caller controls
+// the seed.
+var seededConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runDeterminism(p *Pass) {
+	if !inDeterminismPkg(p.Pkg) {
+		return
+	}
+	walk(p.prodFiles(), func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkDetCall(p, n)
+		case *ast.RangeStmt:
+			checkMapRange(p, n, stack)
+		}
+		return true
+	})
+}
+
+func inDeterminismPkg(pkg *types.Package) bool {
+	return pkg != nil && determinismPkgs[pkgPathBase(pkg.Path())] && isRepoPkg(pkg, pkgPathBase(pkg.Path()))
+}
+
+func checkDetCall(p *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(p.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			p.Reportf(call.Pos(), "time.%s in a determinism-critical package: results must be pure functions of (seed, config)", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		// Only the package-level functions draw from the shared global
+		// source; methods on an explicit *Rand are seeded by the caller.
+		if fn.Signature().Recv() != nil || seededConstructors[fn.Name()] {
+			return
+		}
+		p.Reportf(call.Pos(), "global %s.%s is seeded nondeterministically; derive an RNG from internal/dist stream splitting", pkgPathBase(fn.Pkg().Path()), fn.Name())
+	}
+}
+
+// orderSinkMethods are method names through which a map-iteration order
+// can become observable bytes: stream/hash writers and encoders.
+var orderSinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"WriteTo": true, "Sum": true, "Sum32": true, "Sum64": true, "Encode": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+// checkMapRange flags for-range over a map whose body lets iteration
+// order reach an order-sensitive sink: a slice append (unless the slice
+// is sorted afterwards in the same function), a channel send, a
+// writer/hash/encoder call, or a slice store at a non-key index.
+func checkMapRange(p *Pass, rs *ast.RangeStmt, stack []ast.Node) {
+	t := p.Info.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	keyObj := rangeVarObj(p.Info, rs.Key)
+	sorted := sortedSlices(p, enclosingFuncBody(stack))
+
+	var sink string
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			sink = "a channel send"
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := p.Info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+					if len(n.Args) > 0 {
+						if obj := exprObj(p.Info, n.Args[0]); obj != nil && sorted[obj] {
+							return true // collected then sorted: order washed out
+						}
+					}
+					sink = "a slice append"
+					return false
+				}
+			}
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && orderSinkMethods[sel.Sel.Name] {
+				sink = sel.Sel.Name + " on an output stream"
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				xt := p.Info.TypeOf(ix.X)
+				if xt == nil {
+					continue
+				}
+				if _, isSlice := xt.Underlying().(*types.Slice); !isSlice {
+					continue
+				}
+				// s[k] = v keyed by the map key itself is order-insensitive.
+				if keyObj != nil && exprObj(p.Info, ix.Index) == keyObj {
+					continue
+				}
+				sink = "a slice store at an iteration-dependent index"
+				return false
+			}
+		}
+		return sink == ""
+	})
+	if sink != "" {
+		p.Reportf(rs.For, "map iteration order reaches %s; iterate a sorted key slice or fold order-insensitively", sink)
+	}
+}
+
+func rangeVarObj(info *types.Info, key ast.Expr) types.Object {
+	if key == nil {
+		return nil
+	}
+	id, ok := key.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+func exprObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return info.ObjectOf(id)
+}
+
+// sortedSlices collects slice objects passed to a sort/slices ordering
+// call anywhere in the enclosing function — the standard "collect keys,
+// sort, iterate" idiom is deterministic and must not be flagged.
+func sortedSlices(p *Pass, fn *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	if fn == nil {
+		return out
+	}
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := calleeFunc(p.Info, call)
+		if f == nil || f.Pkg() == nil {
+			return true
+		}
+		switch f.Pkg().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			if obj := exprObj(p.Info, arg); obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// enclosingFuncBody returns the body of the innermost function on the
+// ancestor stack.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.FuncDecl:
+			return n.Body
+		case *ast.FuncLit:
+			return n.Body
+		}
+	}
+	return nil
+}

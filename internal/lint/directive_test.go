@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseSrc(t *testing.T, filename, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, f
+}
+
+func TestHatchRequiresJustification(t *testing.T) {
+	src := `package p
+
+func f() int {
+	x := 1 //repro:alloc-ok
+	return x
+}
+`
+	fset, f := parseSrc(t, "p.go", src)
+	d := ParseDirectives(fset, []*ast.File{f})
+	if len(d.errs) != 1 || !strings.Contains(d.errs[0].Message, "requires a justification") {
+		t.Fatalf("errs = %+v, want one missing-justification finding", d.errs)
+	}
+	// The unjustified hatch still suppresses, so the only finding left to
+	// fix is the missing justification itself.
+	if !d.Suppressed(dirAllocOK, token.Position{Filename: "p.go", Line: 4}) {
+		t.Error("unjustified hatch must still suppress its line")
+	}
+}
+
+func TestHatchSuppressionRange(t *testing.T) {
+	src := `package p
+
+func f() int {
+	//repro:nondeterm-ok timing telemetry only
+	x := 1
+	y := 2
+	return x + y
+}
+`
+	fset, f := parseSrc(t, "p.go", src)
+	d := ParseDirectives(fset, []*ast.File{f})
+	if len(d.errs) != 0 {
+		t.Fatalf("unexpected directive errors: %+v", d.errs)
+	}
+	cases := []struct {
+		line int
+		want bool
+	}{
+		{4, true},  // the hatch's own line (end-of-line form)
+		{5, true},  // the line directly below (standalone form)
+		{6, false}, // two lines below: out of range
+	}
+	for _, c := range cases {
+		if got := d.Suppressed(dirNondetermOK, token.Position{Filename: "p.go", Line: c.line}); got != c.want {
+			t.Errorf("Suppressed(line %d) = %v, want %v", c.line, got, c.want)
+		}
+	}
+	// A different verb's hatch does not suppress.
+	if d.Suppressed(dirAllocOK, token.Position{Filename: "p.go", Line: 5}) {
+		t.Error("nondeterm-ok hatch must not suppress alloc-ok findings")
+	}
+	// Another file entirely.
+	if d.Suppressed(dirNondetermOK, token.Position{Filename: "q.go", Line: 5}) {
+		t.Error("hatches are per-file")
+	}
+}
+
+func TestNoallocForAttachment(t *testing.T) {
+	src := `package p
+
+// Annotated does things fast.
+//
+//repro:noalloc
+func Annotated() {}
+
+// Unannotated is ordinary.
+func Unannotated() {}
+`
+	fset, f := parseSrc(t, "p.go", src)
+	d := ParseDirectives(fset, []*ast.File{f})
+	if len(d.errs) != 0 {
+		t.Fatalf("unexpected directive errors: %+v", d.errs)
+	}
+	got := make(map[string]bool)
+	for fd := range d.NoallocFuncs {
+		got[fd.Name.Name] = true
+		if _, ok := d.NoallocFor(fd); !ok {
+			t.Errorf("NoallocFor(%s) = false, want true", fd.Name.Name)
+		}
+	}
+	if !got["Annotated"] || got["Unannotated"] {
+		t.Fatalf("annotated set = %v, want exactly {Annotated}", got)
+	}
+}
+
+func TestDirectivesSkipTestFiles(t *testing.T) {
+	src := `package p
+
+//repro:noalloc
+func helper() {}
+
+//repro:bogus
+func other() {}
+`
+	fset, f := parseSrc(t, "p_test.go", src)
+	d := ParseDirectives(fset, []*ast.File{f})
+	if len(d.NoallocFuncs) != 0 || len(d.errs) != 0 {
+		t.Fatalf("directives in _test.go files must be ignored entirely; got funcs=%d errs=%+v",
+			len(d.NoallocFuncs), d.errs)
+	}
+}

@@ -1,0 +1,419 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Noalloc checks functions annotated //repro:noalloc for constructs
+// that force (or usually force) a heap allocation. The check is local
+// and syntactic-plus-types: it does not run escape analysis, so a
+// construct the compiler provably keeps on the stack can be annotated
+// away with //repro:alloc-ok <why> — the point is that every allocation
+// risk in a pinned hot path is either absent or explained in place.
+var Noalloc = &Analyzer{
+	Name:  "noalloc",
+	Doc:   "flag allocation-forcing constructs in //repro:noalloc functions",
+	Hatch: dirAllocOK,
+	Run:   runNoalloc,
+}
+
+func runNoalloc(p *Pass) {
+	for _, f := range p.prodFiles() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, ok := p.Dirs.NoallocFor(fd); ok {
+				checkNoallocBody(p, fd)
+			}
+		}
+	}
+}
+
+func checkNoallocBody(p *Pass, fd *ast.FuncDecl) {
+	info := p.Info
+	hinted := makeHintedSlices(info, fd)
+	defers := 0
+	walkNode(fd.Body, []ast.Node{fd}, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(info, n) && !isConst(info, n) {
+				p.Reportf(n.OpPos, "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(info, n.Lhs[0]) {
+				p.Reportf(n.TokPos, "string += allocates")
+			}
+		case *ast.CompositeLit:
+			checkCompositeLit(p, info, n, stack)
+		case *ast.CallExpr:
+			checkCall(p, info, n, stack, hinted)
+		case *ast.FuncLit:
+			return checkFuncLit(p, info, n, stack)
+		case *ast.GoStmt:
+			p.Reportf(n.Go, "go statement allocates a goroutine")
+		case *ast.DeferStmt:
+			defers++
+			if inLoop(stack) {
+				p.Reportf(n.Defer, "defer inside a loop is heap-allocated (not open-coded)")
+			} else if defers > 8 {
+				p.Reportf(n.Defer, "more than 8 defers disable open-coding; this defer allocates")
+			}
+		case *ast.SelectorExpr:
+			checkMethodValue(p, info, n, stack)
+		}
+		return true
+	})
+}
+
+func isStringType(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func parent(stack []ast.Node) ast.Node {
+	if len(stack) == 0 {
+		return nil
+	}
+	return stack[len(stack)-1]
+}
+
+// inLoop reports whether the innermost enclosing function on the stack
+// contains the node inside a for/range statement.
+func inLoop(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		case *ast.FuncLit, *ast.FuncDecl:
+			return false
+		}
+	}
+	return false
+}
+
+func checkCompositeLit(p *Pass, info *types.Info, n *ast.CompositeLit, stack []ast.Node) {
+	t := info.TypeOf(n)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Map:
+		p.Reportf(n.Lbrace, "map literal allocates")
+	case *types.Slice:
+		p.Reportf(n.Lbrace, "slice literal allocates")
+	case *types.Struct, *types.Array:
+		if u, ok := parent(stack).(*ast.UnaryExpr); ok && u.Op == token.AND {
+			p.Reportf(u.OpPos, "&composite literal allocates when it escapes")
+		}
+	}
+}
+
+func checkCall(p *Pass, info *types.Info, call *ast.CallExpr, stack []ast.Node, hinted map[types.Object]bool) {
+	fun := ast.Unparen(call.Fun)
+
+	// Conversions.
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		checkConversion(p, info, call, tv.Type, stack)
+		return
+	}
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				p.Reportf(call.Lparen, "make allocates (unless it provably stays on the stack)")
+			case "new":
+				p.Reportf(call.Lparen, "new allocates (unless it provably stays on the stack)")
+			case "append":
+				checkAppend(p, info, call, stack, hinted)
+			}
+			return
+		}
+	}
+
+	// Calls into fmt/errors.
+	if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "fmt":
+			p.Reportf(call.Lparen, "fmt.%s allocates; format with append/strconv on a reused buffer", fn.Name())
+			return
+		case "errors":
+			p.Reportf(call.Lparen, "errors.%s allocates; return a preallocated sentinel error", fn.Name())
+			return
+		}
+	}
+
+	// Interface boxing and variadic slices at the call site.
+	checkBoxing(p, info, call)
+}
+
+func checkConversion(p *Pass, info *types.Info, call *ast.CallExpr, target types.Type, stack []ast.Node) {
+	if len(call.Args) != 1 {
+		return
+	}
+	src := info.TypeOf(call.Args[0])
+	if src == nil {
+		return
+	}
+	tu, su := target.Underlying(), src.Underlying()
+	switch {
+	case isBasicString(tu) && (isByteOrRuneSlice(su) || isIntegerish(su)):
+		// string(b) used directly as a map index or in a comparison is
+		// optimized by the compiler and does not allocate.
+		if conversionOptimizedAway(info, call, stack) {
+			return
+		}
+		if isConst(info, call.Args[0]) {
+			return // string(constant) is folded
+		}
+		p.Reportf(call.Lparen, "conversion to string allocates")
+	case isByteOrRuneSlice(tu) && isBasicString(su):
+		if _, ok := parent(stack).(*ast.RangeStmt); ok {
+			return // for range []byte(s) is allocation-free
+		}
+		if isConst(info, call.Args[0]) {
+			return
+		}
+		p.Reportf(call.Lparen, "conversion from string to %s allocates", types.TypeString(target, nil))
+	}
+}
+
+// conversionOptimizedAway covers the compiler's no-alloc special cases
+// for string(b): map indexing m[string(b)], comparisons, and switch
+// tags.
+func conversionOptimizedAway(info *types.Info, call *ast.CallExpr, stack []ast.Node) bool {
+	switch par := parent(stack).(type) {
+	case *ast.IndexExpr:
+		if par.Index == call {
+			if t := info.TypeOf(par.X); t != nil {
+				_, isMap := t.Underlying().(*types.Map)
+				return isMap
+			}
+		}
+	case *ast.BinaryExpr:
+		switch par.Op {
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+			return true
+		}
+	case *ast.SwitchStmt:
+		return par.Tag == call
+	}
+	return false
+}
+
+func isBasicString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isIntegerish(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	e, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (e.Kind() == types.Byte || e.Kind() == types.Rune || e.Kind() == types.Uint8 || e.Kind() == types.Int32)
+}
+
+// checkBoxing flags concrete values boxed into interface parameters and
+// the argument slice of a non-spread variadic call.
+func checkBoxing(p *Pass, info *types.Info, call *ast.CallExpr) {
+	tv, ok := info.Types[ast.Unparen(call.Fun)]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	n := params.Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= n-1:
+			if call.Ellipsis != token.NoPos {
+				continue // spread call: the slice passes through, no boxing
+			}
+			if i == n-1 {
+				p.Reportf(arg.Pos(), "variadic call allocates its argument slice")
+			}
+			pt = params.At(n - 1).Type().(*types.Slice).Elem()
+		case i < n:
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || types.IsInterface(at) || isPointerShaped(at) {
+			continue
+		}
+		if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		p.Reportf(arg.Pos(), "%s boxed into interface argument allocates", types.TypeString(at, types.RelativeTo(p.Pkg)))
+	}
+}
+
+// isPointerShaped reports types whose interface representation needs no
+// heap copy: pointers, channels, maps, funcs, unsafe.Pointer.
+func isPointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// checkFuncLit flags closures that capture variables and are not
+// immediately invoked. Returns whether to descend (always true: nested
+// bodies obey the same contract).
+func checkFuncLit(p *Pass, info *types.Info, fl *ast.FuncLit, stack []ast.Node) bool {
+	if call, ok := parent(stack).(*ast.CallExpr); ok && call.Fun == fl {
+		return true // immediately-invoked: inlined, captures stay on the stack
+	}
+	if name, ok := capturesVar(info, fl); ok {
+		p.Reportf(fl.Pos(), "closure capturing %q allocates when it escapes", name)
+	}
+	return true
+}
+
+// capturesVar reports the first outer local variable referenced inside
+// the closure body.
+func capturesVar(info *types.Info, fl *ast.FuncLit) (string, bool) {
+	var name string
+	found := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Parent() == nil || v.Parent() == types.Universe {
+			return true
+		}
+		// Package-level vars are not captures.
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return true
+		}
+		// Declared inside the closure itself (params or body): not a capture.
+		if fl.Pos() <= v.Pos() && v.Pos() < fl.End() {
+			return true
+		}
+		name, found = v.Name(), true
+		return false
+	})
+	return name, found
+}
+
+// checkAppend flags append calls inside loops that can grow their
+// backing array: neither the reuse idiom append(x[:0], ...) nor a
+// make-with-capacity hint on the destination anywhere in the function.
+func checkAppend(p *Pass, info *types.Info, call *ast.CallExpr, stack []ast.Node, hinted map[types.Object]bool) {
+	if !inLoop(stack) || len(call.Args) == 0 {
+		return
+	}
+	switch dst := ast.Unparen(call.Args[0]).(type) {
+	case *ast.SliceExpr:
+		if isZeroLit(dst.High) && dst.Low == nil && dst.Max == nil {
+			return // append(x[:0], ...): reuses capacity
+		}
+	case *ast.Ident:
+		if obj := info.ObjectOf(dst); obj != nil && hinted[obj] {
+			return // destination was make()d with an explicit size/cap
+		}
+	}
+	p.Reportf(call.Lparen, "append inside a loop may grow without a capacity hint")
+}
+
+func isZeroLit(e ast.Expr) bool {
+	b, ok := e.(*ast.BasicLit)
+	return ok && b.Kind == token.INT && b.Value == "0"
+}
+
+// makeHintedSlices collects function-local slice objects initialized
+// via make with an explicit length or capacity argument.
+func makeHintedSlices(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	hinted := make(map[types.Object]bool)
+	mark := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || len(call.Args) < 2 {
+			return
+		}
+		fid, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return
+		}
+		if b, ok := info.Uses[fid].(*types.Builtin); !ok || b.Name() != "make" {
+			return
+		}
+		if obj := info.ObjectOf(id); obj != nil {
+			hinted[obj] = true
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i := range n.Lhs {
+				if i < len(n.Rhs) {
+					mark(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i := range n.Names {
+				if i < len(n.Values) {
+					mark(n.Names[i], n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return hinted
+}
+
+// checkMethodValue flags method values (x.M used as a value): each
+// evaluation allocates a bound-method closure.
+func checkMethodValue(p *Pass, info *types.Info, sel *ast.SelectorExpr, stack []ast.Node) {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return
+	}
+	if call, ok := parent(stack).(*ast.CallExpr); ok && ast.Unparen(call.Fun) == sel {
+		return // ordinary method call
+	}
+	p.Reportf(sel.Sel.Pos(), "method value %s allocates a bound-method closure", sel.Sel.Name)
+}

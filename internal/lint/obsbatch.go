@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// hotPathPkgs are the base names of the packages under the
+// batch-amortized instrumentation contract: their inner loops move one
+// element (a ClickRef, a token, a byte window) per iteration, so even a
+// single atomic add per iteration is a measurable fraction of the work.
+// Instrumentation there records per window/batch/call, never per
+// element.
+var hotPathPkgs = map[string]bool{
+	"demand":   true,
+	"seg":      true,
+	"extract":  true,
+	"classify": true,
+	"htmlx":    true,
+	"logs":     true,
+	"dist":     true,
+}
+
+// obsRecordMethods are the record-path operations of internal/obs:
+// counter/gauge/histogram updates and span starts. Registration calls
+// (Counter, Histogram, RegisterSpan, ...) run once at init and are
+// exempt.
+var obsRecordMethods = map[string]bool{
+	"Add": true, "Inc": true, "AddShard": true, "Set": true,
+	"Observe": true, "Start": true, "StartT": true, "StartSpan": true,
+}
+
+// Obsbatch flags obs record calls lexically inside a loop in a hot-path
+// package. Sites that record once per window or batch legitimately sit
+// inside the loop over windows — those carry //repro:obs-ok <why>.
+var Obsbatch = &Analyzer{
+	Name:  "obsbatch",
+	Doc:   "flag per-element obs instrumentation inside loops in hot-path packages",
+	Hatch: dirObsOK,
+	Run:   runObsbatch,
+}
+
+func runObsbatch(p *Pass) {
+	if p.Pkg == nil || !hotPathPkgs[pkgPathBase(p.Pkg.Path())] || !isRepoPkg(p.Pkg, pkgPathBase(p.Pkg.Path())) {
+		return
+	}
+	walk(p.prodFiles(), func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(p.Info, call)
+		if fn == nil || !isRepoPkgPtr(fn.Pkg(), "obs") || !obsRecordMethods[fn.Name()] {
+			return true
+		}
+		if !inAnyLoop(stack) {
+			return true
+		}
+		p.Reportf(call.Pos(), "obs %s inside a loop: instrument per window/batch, not per element", fn.Name())
+		return true
+	})
+}
+
+// inAnyLoop reports whether any ancestor is a for/range statement —
+// crossing closure boundaries too, since a closure defined inside the
+// element loop still runs per element.
+func inAnyLoop(stack []ast.Node) bool {
+	for _, n := range stack {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		}
+	}
+	return false
+}
+
+func isRepoPkgPtr(pkg *types.Package, base string) bool {
+	return pkg != nil && isRepoPkg(pkg, base)
+}

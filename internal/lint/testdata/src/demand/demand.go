@@ -1,0 +1,70 @@
+// Package demand exercises the obsbatch analyzer: its base name makes
+// it a hot-path package, like repro/internal/demand.
+package demand
+
+import "obs"
+
+var (
+	c  = obs.NewCounter("refs_total")
+	h  = obs.NewHistogram("fold_seconds")
+	sk = obs.RegisterSpan("fold")
+	g  obs.Gauge
+)
+
+func perElement(xs []int) {
+	for range xs {
+		c.Inc() // want `obs Inc inside a loop: instrument per window/batch, not per element`
+	}
+}
+
+func perBatch(xs []int) {
+	total := 0
+	for _, x := range xs {
+		total += x // no obs call in the loop: no finding
+	}
+	c.Add(uint64(total)) // outside the loop: no finding
+	h.Observe(uint64(len(xs)))
+	sp := sk.Start()
+	sp.End()
+}
+
+func hatched(windows [][]int) {
+	for _, w := range windows {
+		sp := sk.StartT(0) //repro:obs-ok one span per window, not per element
+		fold(w)
+		sp.End()
+		c.Add(uint64(len(w))) // want `obs Add inside a loop`
+	}
+}
+
+func viaClosure(xs []int) {
+	for range xs {
+		record := func() {
+			h.Observe(1) // want `obs Observe inside a loop`
+		}
+		record()
+	}
+}
+
+func shardLoop(xs []int) {
+	for i := range xs {
+		c.AddShard(i, 1) // want `obs AddShard inside a loop`
+		g.Set(int64(i))  // want `obs Set inside a loop`
+	}
+}
+
+func registration(names []string) []*obs.Counter {
+	out := make([]*obs.Counter, 0, len(names))
+	for _, n := range names {
+		out = append(out, obs.NewCounter(n)) // registration, not a record call: no finding
+	}
+	return out
+}
+
+func fold(w []int) int {
+	total := 0
+	for _, x := range w {
+		total += x
+	}
+	return total
+}

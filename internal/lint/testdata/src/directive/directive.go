@@ -1,0 +1,16 @@
+// Package directive exercises the directive pseudo-analyzer: the
+// //repro: comments themselves are contract surface and misuse is a
+// finding. (The missing-justification case is covered by unit tests in
+// the lint package — its diagnostic lands on the directive comment
+// itself, where a want comment would become the justification.)
+package directive
+
+//repro:bogus some text // want `unknown directive //repro:bogus`
+
+var answer = 42 //repro:noalloc // want `//repro:noalloc must be part of a function declaration's doc comment`
+
+// A well-formed annotation produces no directive findings (and an empty
+// body produces no noalloc findings).
+//
+//repro:noalloc
+func fine() {}

@@ -1,0 +1,95 @@
+// Package dist exercises the determinism analyzer: its base name makes
+// it determinism-critical, like repro/internal/dist.
+package dist
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clock() time.Duration {
+	t0 := time.Now()      // want `time\.Now in a determinism-critical package`
+	return time.Since(t0) // want `time\.Since in a determinism-critical package`
+}
+
+func hatchedClock() time.Time {
+	return time.Now() //repro:nondeterm-ok latency telemetry only, never reaches result bytes
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global rand\.Intn is seeded nondeterministically`
+}
+
+func seededRand() int {
+	r := rand.New(rand.NewSource(1)) // explicit seed: no finding
+	return r.Intn(10)                // method on *Rand: no finding
+}
+
+func leakAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order reaches a slice append`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // collected then sorted: no finding
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func leakSend(m map[int]int, ch chan int) {
+	for k := range m { // want `map iteration order reaches a channel send`
+		ch <- k
+	}
+}
+
+type stream struct{ n int }
+
+func (s *stream) Write(p []byte) (int, error) { s.n += len(p); return len(p), nil }
+
+func leakWrite(m map[string]int, w *stream) {
+	for k := range m { // want `map iteration order reaches Write on an output stream`
+		w.Write([]byte(k))
+	}
+}
+
+func storeByKey(m map[int]int, out []int) {
+	for k, v := range m { // store keyed by the map key: no finding
+		out[k] = v
+	}
+}
+
+func storeByCounter(m map[int]int, out []int) {
+	i := 0
+	for _, v := range m { // want `map iteration order reaches a slice store at an iteration-dependent index`
+		out[i] = v
+		i++
+	}
+}
+
+func hatchedRange(m map[int]int, ch chan int) {
+	//repro:nondeterm-ok order-insensitive consumer folds commutatively
+	for k := range m {
+		ch <- k
+	}
+}
+
+func pureFold(m map[int]int) int {
+	total := 0
+	for _, v := range m { // order never observable: no finding
+		total += v
+	}
+	return total
+}
+
+func sliceRange(xs []int, ch chan int) {
+	for _, x := range xs { // slice iteration is ordered: no finding
+		ch <- x
+	}
+}

@@ -1,0 +1,13 @@
+// Package fail is a fixture stub standing in for repro/internal/fail:
+// the failpoint analyzer matches entry points by (package base name,
+// function name) and checks their site-name argument.
+package fail
+
+type Point struct{ name string }
+
+func Register(name string) *Point { return &Point{name: name} }
+func Arm(name string)             {}
+func Lookup(name string) *Point   { return nil }
+func Disarm(name string)          {}
+
+func (p *Point) Fail() error { return nil }

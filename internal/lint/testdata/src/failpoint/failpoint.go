@@ -1,0 +1,29 @@
+// Package failpoint exercises the failpoint analyzer: literal names,
+// register-once, package-level registration.
+package failpoint
+
+import "fail"
+
+var fpGood = fail.Register("site/a")
+
+var fpDup = fail.Register("site/a") // want `failpoint "site/a" registered more than once in this package`
+
+var siteName = "site/b"
+
+var fpVar = fail.Register(siteName) // want `fail\.Register site name must be a string literal`
+
+var fpEmpty = fail.Register("") // want `fail\.Register site name must be a non-empty string literal`
+
+func lazyRegister() *fail.Point {
+	return fail.Register("site/lazy") // want `fail\.Register\("site/lazy"\) must initialize a package-level var`
+}
+
+func armLiteral() {
+	fail.Arm("site/a") // literal name: no finding
+	fail.Disarm("site/a")
+	_ = fail.Lookup("site/a")
+}
+
+func armVariable(n string) {
+	fail.Arm(n) // want `fail\.Arm site name must be a string literal`
+}

@@ -1,0 +1,132 @@
+// Package noalloc exercises the noalloc analyzer: every
+// allocation-forcing construct in an annotated function, every compiler
+// special case that must NOT be flagged, and the alloc-ok escape hatch.
+package noalloc
+
+import (
+	"errors"
+	"fmt"
+)
+
+type point struct{ x, y int }
+
+func (p point) norm() int { return p.x * p.y }
+
+var sink func()
+
+//repro:noalloc
+func strings2(s1, s2 string) string {
+	const k = "a" + "b" // constant concatenation folds: no finding
+	c := s1 + s2        // want `string concatenation allocates`
+	c += "!"            // want `string \+= allocates`
+	_ = k
+	return c
+}
+
+//repro:noalloc
+func literals() int {
+	m := map[int]int{}  // want `map literal allocates`
+	s := []int{1, 2}    // want `slice literal allocates`
+	p := &point{1, 2}   // want `&composite literal allocates when it escapes`
+	v := point{3, 4}    // value struct literal: no finding
+	q := make([]int, 8) // want `make allocates`
+	r := new(point)     // want `new allocates`
+	return m[0] + s[0] + p.x + v.y + q[0] + r.x
+}
+
+//repro:noalloc
+func formatting(err error) error {
+	fmt.Println("x")                // want `fmt\.Println allocates`
+	e := errors.New("boom")         // want `errors\.New allocates`
+	w := fmt.Errorf("wrap %w", err) // want `fmt\.Errorf allocates`
+	_ = w
+	return e
+}
+
+//repro:noalloc
+func conversions(m map[string]int, b []byte, s string) int {
+	n := m[string(b)]   // map-index special case: no finding
+	if string(b) == s { // comparison special case: no finding
+		n++
+	}
+	switch string(b) { // switch-tag special case: no finding
+	case s:
+		n++
+	}
+	t := string(b)        // want `conversion to string allocates`
+	for range []byte(s) { // range special case: no finding
+		n++
+	}
+	bs := []byte(s)      // want `conversion from string to \[\]byte allocates`
+	u := string(rune(n)) // want `conversion to string allocates`
+	return n + len(t) + len(bs) + len(u)
+}
+
+func eat(v any) {}
+
+func vari(vs ...int) int { return len(vs) }
+
+//repro:noalloc
+func boxing(n int, p *point, i any, xs []int) {
+	eat(n)          // want `int boxed into interface argument allocates`
+	eat(p)          // pointer-shaped: no finding
+	eat(i)          // already an interface: no finding
+	eat(nil)        // untyped nil: no finding
+	_ = vari(1, 2)  // want `variadic call allocates its argument slice`
+	_ = vari(xs...) // spread call: no finding
+}
+
+//repro:noalloc
+func closures() int {
+	x := 0
+	sink = func() { x++ }        // want `closure capturing "x" allocates when it escapes`
+	func() { x++ }()             // immediately invoked: no finding
+	f := func() int { return 1 } // captures nothing: no finding
+	return f() + x
+}
+
+//repro:noalloc
+func control(xs []int) {
+	go eat(nil) // want `go statement allocates a goroutine`
+	for range xs {
+		defer eat(nil) // want `defer inside a loop is heap-allocated`
+	}
+}
+
+//repro:noalloc
+func methodValues(p point) func() int {
+	g := p.norm // want `method value norm allocates a bound-method closure`
+	_ = p.norm()
+	return g
+}
+
+//repro:noalloc
+func appends(dst, src []int) []int {
+	for _, v := range src {
+		dst = append(dst, v) // want `append inside a loop may grow without a capacity hint`
+	}
+	buf := make([]int, 0, 64) // want `make allocates`
+	for _, v := range src {
+		buf = append(buf, v) // make-hinted destination: no finding
+	}
+	var reuse []byte
+	for i := 0; i < 3; i++ {
+		reuse = append(reuse[:0], byte(i)) // reuse idiom: no finding
+	}
+	_, _ = buf, reuse
+	return dst
+}
+
+//repro:noalloc
+func hatched() []int {
+	s := make([]int, 16) //repro:alloc-ok one-time warmup buffer, measured outside the pin
+	return s
+}
+
+// unannotated uses every construct above and must produce no findings:
+// the contract binds only //repro:noalloc functions.
+func unannotated(s1, s2 string) any {
+	m := map[int]int{}
+	go eat(m)
+	return s1 + s2
+}

@@ -1,0 +1,12 @@
+// Test files are exempt from every analyzer: AllocsPerRun tests and
+// golden tests legitimately use the constructs the analyzers flag, and
+// a //repro:noalloc in a test file binds nothing.
+package noalloc
+
+import "fmt"
+
+//repro:noalloc
+func testOnlyHelper(a, b string) string {
+	fmt.Println(a + b)
+	return a + b
+}

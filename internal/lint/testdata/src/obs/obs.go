@@ -1,0 +1,32 @@
+// Package obs is a fixture stub standing in for repro/internal/obs:
+// just enough surface for the obsbatch analyzer, which matches record
+// methods by (package base name, method name).
+package obs
+
+type Counter struct{ v uint64 }
+
+func (c *Counter) Add(n uint64)             { c.v += n }
+func (c *Counter) Inc()                     { c.v++ }
+func (c *Counter) AddShard(i int, n uint64) { c.v += n }
+
+type Gauge struct{ v int64 }
+
+func (g *Gauge) Set(v int64) { g.v = v }
+
+type Histogram struct{ n uint64 }
+
+func (h *Histogram) Observe(v uint64) { h.n++ }
+
+type SpanKind struct{ id int32 }
+
+func (k *SpanKind) Start() Span         { return Span{} }
+func (k *SpanKind) StartT(tid int) Span { return Span{} }
+
+type Span struct{ id int32 }
+
+func (s Span) End() {}
+
+func NewCounter(name string) *Counter     { return &Counter{} }
+func NewHistogram(name string) *Histogram { return &Histogram{} }
+func RegisterSpan(name string) *SpanKind  { return &SpanKind{} }
+func StartSpan(name string) Span          { return Span{} }

@@ -1,0 +1,16 @@
+// Package plain is NOT determinism-critical and NOT a hot-path
+// package: the same constructs the dist/demand fixtures flag must
+// produce no findings here.
+package plain
+
+import "time"
+
+func clock() time.Time { return time.Now() }
+
+func leakAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+)
+
+// This file implements the `go vet -vettool=` side of reprolint: cmd/go
+// invokes the tool once per package ("unit") with a JSON config file
+// describing the unit's sources and the export/vetx files of its
+// dependencies. The schema below mirrors the vetConfig struct written
+// by cmd/go/internal/work (the same contract x/tools' unitchecker
+// consumes; reimplemented here because x/tools is unavailable offline).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit executes one vet unit described by the config file at
+// cfgPath, printing diagnostics to out. The return value is the process
+// exit code under the vet protocol: 0 clean, 1 tool/typecheck error,
+// 2 diagnostics reported.
+func RunUnit(cfgPath string, analyzers []*Analyzer, out io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(out, "reprolint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(out, "reprolint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// reprolint exports no facts, so dependency units (VetxOnly) have
+	// nothing to compute — but cmd/go still requires the output file.
+	if cfg.VetxOnly {
+		return writeVetx(&cfg, out)
+	}
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, fn := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return writeVetx(&cfg, out)
+			}
+			fmt.Fprintf(out, "reprolint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	imp := newUnitImporter(fset, &cfg)
+	conf := types.Config{
+		Importer:  imp,
+		GoVersion: normalizeGoVersion(cfg.GoVersion),
+		Error:     func(error) {},
+	}
+	info := newInfo()
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeVetx(&cfg, out)
+		}
+		fmt.Fprintf(out, "reprolint: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	diags, _ := RunPackage(fset, files, pkg, info, analyzers)
+	if code := writeVetx(&cfg, out); code != 0 {
+		return code
+	}
+	if len(diags) > 0 {
+		PrintDiags(out, fset, diags)
+		return 2
+	}
+	return 0
+}
+
+// PrintDiags writes findings in the standard file:line:col vet format.
+func PrintDiags(out io.Writer, fset *token.FileSet, diags []Diagnostic) {
+	for _, d := range diags {
+		fmt.Fprintf(out, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+}
+
+func writeVetx(cfg *vetConfig, out io.Writer) int {
+	if cfg.VetxOutput == "" {
+		return 0
+	}
+	if err := os.WriteFile(cfg.VetxOutput, []byte("reprolint\n"), 0o666); err != nil {
+		fmt.Fprintf(out, "reprolint: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func normalizeGoVersion(v string) string {
+	if v == "" || strings.HasPrefix(v, "go") {
+		return v
+	}
+	return "go" + v
+}
+
+// unitImporter resolves imports against the export files cmd/go listed
+// in the unit config: vet-level ImportMap gives the canonical path, and
+// PackageFile maps that to a compiled export archive readable by the
+// stdlib gc importer.
+type unitImporter struct {
+	cfg *vetConfig
+	gc  types.ImporterFrom
+}
+
+func newUnitImporter(fset *token.FileSet, cfg *vetConfig) *unitImporter {
+	u := &unitImporter{cfg: cfg}
+	u.gc = importer.ForCompiler(fset, "gc", u.lookup).(types.ImporterFrom)
+	return u
+}
+
+func (u *unitImporter) lookup(path string) (io.ReadCloser, error) {
+	file, ok := u.cfg.PackageFile[path]
+	if !ok {
+		return nil, fmt.Errorf("reprolint: no package file for %q in vet config", path)
+	}
+	return os.Open(file)
+}
+
+func (u *unitImporter) Import(path string) (*types.Package, error) {
+	return u.ImportFrom(path, "", 0)
+}
+
+func (u *unitImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if canon, ok := u.cfg.ImportMap[path]; ok {
+		path = canon
+	}
+	return u.gc.ImportFrom(path, u.cfg.Dir, 0)
+}

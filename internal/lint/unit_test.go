@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// timeExports lazily resolves the export archives for "time" and its
+// transitive dependencies, which the vet-unit tests wire into
+// PackageFile the same way cmd/go does.
+var timeExports = sync.OnceValues(func() (map[string]string, error) {
+	exports := make(map[string]string)
+	out, err := runGo(".", "list", "-deps", "-export", "-json=ImportPath,Export", "--", "time")
+	if err != nil {
+		return nil, err
+	}
+	err = decodeList(out, func(lp *listPkg) {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	})
+	return exports, err
+})
+
+// writeUnit lays out a single-package vet unit in a temp dir and
+// returns the path of its vet.cfg.
+func writeUnit(t *testing.T, src string, mutate func(*vetConfig)) string {
+	t.Helper()
+	exports, err := timeExports()
+	if err != nil {
+		t.Fatalf("resolving export data for time: %v", err)
+	}
+	dir := t.TempDir()
+	goFile := filepath.Join(dir, "dist.go")
+	if err := os.WriteFile(goFile, []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	cfg := vetConfig{
+		ID:          "dist",
+		Compiler:    "gc",
+		Dir:         dir,
+		ImportPath:  "dist",
+		GoFiles:     []string{goFile},
+		ImportMap:   map[string]string{"time": "time"},
+		PackageFile: exports,
+		Standard:    map[string]bool{"time": true},
+		VetxOutput:  filepath.Join(dir, "dist.vetx"),
+		GoVersion:   "1.21",
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	data, err := json.Marshal(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return cfgPath
+}
+
+const nondetermSrc = `package dist
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`
+
+func TestRunUnitReportsDiagnostics(t *testing.T) {
+	cfgPath := writeUnit(t, nondetermSrc, nil)
+	var out bytes.Buffer
+	code := RunUnit(cfgPath, Analyzers(), &out)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2 (diagnostics); output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "time.Now in a determinism-critical package") {
+		t.Errorf("missing determinism diagnostic in output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "[determinism]") {
+		t.Errorf("diagnostic must name its analyzer:\n%s", out.String())
+	}
+	// Even a failing unit must leave the vetx file behind for cmd/go.
+	vetx := filepath.Join(filepath.Dir(cfgPath), "dist.vetx")
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("vetx output not written: %v", err)
+	}
+}
+
+func TestRunUnitCleanPackage(t *testing.T) {
+	cfgPath := writeUnit(t, "package dist\n\nfunc Pure(x int) int { return x * 2 }\n", nil)
+	var out bytes.Buffer
+	if code := RunUnit(cfgPath, Analyzers(), &out); code != 0 {
+		t.Fatalf("exit code = %d, want 0; output:\n%s", code, out.String())
+	}
+}
+
+func TestRunUnitVetxOnly(t *testing.T) {
+	// A VetxOnly unit (a dependency of the package actually being
+	// vetted) must short-circuit: no parsing, no typechecking, just the
+	// vetx marker so cmd/go's cache entry is satisfiable.
+	cfgPath := writeUnit(t, "package dist\n\nthis does not parse\n", func(cfg *vetConfig) {
+		cfg.VetxOnly = true
+	})
+	var out bytes.Buffer
+	if code := RunUnit(cfgPath, Analyzers(), &out); code != 0 {
+		t.Fatalf("exit code = %d, want 0; output:\n%s", code, out.String())
+	}
+	vetx := filepath.Join(filepath.Dir(cfgPath), "dist.vetx")
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("VetxOnly unit must still write vetx output: %v", err)
+	}
+}
+
+func TestRunUnitTypecheckFailure(t *testing.T) {
+	broken := "package dist\n\nfunc Bad() int { return undefinedSymbol }\n"
+	t.Run("succeed-flag", func(t *testing.T) {
+		cfgPath := writeUnit(t, broken, func(cfg *vetConfig) {
+			cfg.SucceedOnTypecheckFailure = true
+		})
+		var out bytes.Buffer
+		if code := RunUnit(cfgPath, Analyzers(), &out); code != 0 {
+			t.Fatalf("exit code = %d, want 0 under SucceedOnTypecheckFailure; output:\n%s", code, out.String())
+		}
+	})
+	t.Run("hard-failure", func(t *testing.T) {
+		cfgPath := writeUnit(t, broken, nil)
+		var out bytes.Buffer
+		if code := RunUnit(cfgPath, Analyzers(), &out); code != 1 {
+			t.Fatalf("exit code = %d, want 1 on typecheck failure; output:\n%s", code, out.String())
+		}
+	})
+}
+
+func TestRunUnitBadConfig(t *testing.T) {
+	var out bytes.Buffer
+	if code := RunUnit(filepath.Join(t.TempDir(), "missing.cfg"), Analyzers(), &out); code != 1 {
+		t.Fatalf("exit code = %d, want 1 for unreadable config", code)
+	}
+	bad := filepath.Join(t.TempDir(), "vet.cfg")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if code := RunUnit(bad, Analyzers(), &out); code != 1 {
+		t.Fatalf("exit code = %d, want 1 for malformed config", code)
+	}
+}
+
+func TestNormalizeGoVersion(t *testing.T) {
+	cases := map[string]string{"": "", "1.21": "go1.21", "go1.22": "go1.22"}
+	for in, want := range cases {
+		if got := normalizeGoVersion(in); got != want {
+			t.Errorf("normalizeGoVersion(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -47,6 +47,8 @@ func bucketUpper(b int) uint64 {
 }
 
 // Observe records one value in raw units.
+//
+//repro:noalloc
 func (h *Histogram) Observe(v uint64) {
 	h.counts[bucketOf(v)].Add(1)
 	h.sum.Add(v)

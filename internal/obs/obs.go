@@ -80,6 +80,8 @@ type Counter struct {
 }
 
 // Add increments the counter by n.
+//
+//repro:noalloc
 func (c *Counter) Add(n uint64) { c.cells[0].v.Add(n) }
 
 // Inc increments the counter by one.
@@ -87,6 +89,8 @@ func (c *Counter) Inc() { c.cells[0].v.Add(1) }
 
 // AddShard increments shard i's padded cell by n. The shard index is
 // masked into range, so any non-negative worker index is valid.
+//
+//repro:noalloc
 func (c *Counter) AddShard(i int, n uint64) {
 	c.cells[i&(len(c.cells)-1)].v.Add(n)
 }

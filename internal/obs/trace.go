@@ -89,10 +89,14 @@ type Span struct {
 
 // Start begins a span of this kind on logical thread 0. When tracing
 // is disabled this is a single atomic load and returns the nop span.
+//
+//repro:noalloc
 func (k *SpanKind) Start() Span { return k.StartT(0) }
 
 // StartT begins a span on logical thread tid (e.g. a pipeline worker
 // index), which becomes the row the span renders on in the trace UI.
+//
+//repro:noalloc
 func (k *SpanKind) StartT(tid int) Span {
 	r := curRing.Load()
 	if r == nil {
@@ -121,6 +125,8 @@ func StartSpan(name string) Span {
 // End completes the span, claiming the next ring slot. Nop (one
 // branch) if the span was started while tracing was disabled; if
 // tracing was disabled in between, the record is dropped.
+//
+//repro:noalloc
 func (s Span) End() {
 	if s.id == 0 {
 		return

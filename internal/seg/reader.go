@@ -290,26 +290,26 @@ func (r *Reader) ReplayWith(p Predicate, o ReplayOpts, fold func(batch []demand.
 	for i, d := range r.dir {
 		if !p.overlaps(d) {
 			stats.Skipped++
-			obsSegSkipped.Inc()
+			obsSegSkipped.Inc() //repro:obs-ok one increment per zone-map-skipped segment, not per ref
 			continue
 		}
-		sp := spanSegDecode.Start()
-		t0 := time.Now()
+		sp := spanSegDecode.Start() //repro:obs-ok one span per scanned segment
+		t0 := time.Now()            //repro:nondeterm-ok per-segment decode-latency telemetry
 		batch, err := r.readSegment(i, d)
 		obsSegDecodeSec.ObserveSince(t0)
 		sp.End()
 		if err != nil {
 			if o.Salvage {
 				stats.Quarantined++
-				obsSegQuarantined.Inc()
+				obsSegQuarantined.Inc() //repro:obs-ok one increment per quarantined segment
 				continue
 			}
 			return stats, err
 		}
-		obsSegScanned.Inc()
-		obsSegBytes.Add(uint64(d.colLen[0]) + uint64(d.colLen[1]) + uint64(d.colLen[2]) + uint64(d.colLen[3]))
+		obsSegScanned.Inc()                                                                                    //repro:obs-ok one increment per scanned segment
+		obsSegBytes.Add(uint64(d.colLen[0]) + uint64(d.colLen[1]) + uint64(d.colLen[2]) + uint64(d.colLen[3])) //repro:obs-ok one add per scanned segment
 		stats.Rows += uint64(len(batch))
-		obsSegRows.Add(uint64(len(batch)))
+		obsSegRows.Add(uint64(len(batch))) //repro:obs-ok one add per scanned segment, not per row
 		if !p.isAll() {
 			kept := batch[:0]
 			for _, ref := range batch {
@@ -320,7 +320,7 @@ func (r *Reader) ReplayWith(p Predicate, o ReplayOpts, fold func(batch []demand.
 			batch = kept
 		}
 		stats.Matched += uint64(len(batch))
-		obsSegMatched.Add(uint64(len(batch)))
+		obsSegMatched.Add(uint64(len(batch))) //repro:obs-ok one add per scanned segment, not per row
 		if len(batch) > 0 {
 			fold(batch)
 		}

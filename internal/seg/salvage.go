@@ -66,7 +66,7 @@ func NewReaderSalvage(ra io.ReaderAt, size int64) (*Reader, error) {
 				r.dir = append(r.dir, d)
 			} else {
 				r.quarOpen++
-				obsSegQuarantined.Inc()
+				obsSegQuarantined.Inc() //repro:obs-ok one increment per rejected directory entry at open
 			}
 		}
 		return r, nil

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# escape.sh — pin the escape-analysis surface of the zero-allocation
+# hot paths (internal/demand, internal/seg) to a committed baseline.
+#
+# The noalloc analyzer (internal/lint) proves annotated functions avoid
+# allocation-forcing *constructs*; the compiler's escape analysis is
+# the other half of the contract — a value that starts stack-allocated
+# can silently move to the heap when an innocent-looking refactor grows
+# an interface edge or a captured pointer. This script renders
+# `go build -gcflags=-m=1` diagnostics for the two hot-path packages
+# into a stable form and diffs them against scripts/escape_baseline.txt,
+# so every newly escaping value shows up in review instead of in a
+# profile.
+#
+# Normalization: only "escapes to heap" / "moved to heap" lines are
+# kept, line:col positions are stripped (unrelated edits shift them),
+# and identical file+message lines are collapsed with a count. A new
+# escape changes a count or adds a line; shuffling code around does not.
+#
+# Usage:
+#   scripts/escape.sh           # check against the committed baseline
+#   scripts/escape.sh -u        # rewrite the baseline (review the diff!)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=scripts/escape_baseline.txt
+PKGS=(./internal/demand/ ./internal/seg/)
+
+current() {
+    # -m=1 diagnostics are cached with the build, so repeat runs replay
+    # them without recompiling. || true: grep finds nothing only if the
+    # packages stop allocating entirely.
+    go build -gcflags='-m=1' "${PKGS[@]}" 2>&1 |
+        grep -E '(escapes to heap|moved to heap)' |
+        sed -E 's/:[0-9]+:[0-9]+:/:/' |
+        sort | uniq -c | sed -E 's/^ +//' || true
+}
+
+if [[ "${1:-}" == "-u" ]]; then
+    current > "$BASELINE"
+    echo "escape.sh: baseline rewritten ($(wc -l < "$BASELINE") distinct escape sites)"
+    exit 0
+fi
+
+if [[ ! -f "$BASELINE" ]]; then
+    echo "escape.sh: missing $BASELINE — run scripts/escape.sh -u to create it" >&2
+    exit 1
+fi
+
+if diff=$(diff -u "$BASELINE" <(current)); then
+    echo "escape.sh: OK ($(wc -l < "$BASELINE") distinct escape sites, unchanged)"
+else
+    echo "escape.sh: escape-analysis surface changed in internal/demand or internal/seg:" >&2
+    echo "$diff" >&2
+    echo >&2
+    echo "If every new escape is intentional (cold path, one-time setup)," >&2
+    echo "rerun with scripts/escape.sh -u and commit the baseline." >&2
+    exit 1
+fi
